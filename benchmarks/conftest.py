@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``benchmarks/test_bench_*.py`` regenerates one of the paper's
+tables/figures (or an ablation) under ``pytest benchmarks/
+--benchmark-only``.  Trial counts default to quick values; set
+``REPRO_TRIALS=<n>`` or ``REPRO_FULL=1`` for paper-fidelity runs.
+
+The rendered tables are printed inside BEGIN/END banners so the
+``bench_output.txt`` artifact doubles as the regenerated evaluation
+section.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, body: str) -> None:
+    """Print a rendered experiment block with banners (visible via -s
+    or in captured output summaries)."""
+    banner = "=" * 72
+    sys.stdout.write(f"\n{banner}\nBEGIN {title}\n{banner}\n{body}\n{banner}\nEND {title}\n{banner}\n")
+    sys.stdout.flush()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

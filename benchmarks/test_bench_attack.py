@@ -1,0 +1,46 @@
+"""Capture-attack tradeoff bench (paper Section I motivation).
+
+Shape assertions at connectivity-equalized ring sizes K*(q):
+
+* for the smallest attack, compromise fraction decreases with q
+  (q-composite wins small-scale);
+* for the largest attack, q = 3 is worse than q = 1 (the tradeoff);
+* simulation tracks the Chan-Perrig-Song analytic estimate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.attack_tradeoff import (
+    render_attack_tradeoff,
+    run_attack_tradeoff,
+)
+from repro.simulation.engine import trials_from_env
+
+
+def test_bench_attack_tradeoff(benchmark):
+    trials = trials_from_env(12, full=100)
+    result = run_once(
+        benchmark,
+        run_attack_tradeoff,
+        trials=trials,
+        captured_grid=(10, 100, 300),
+    )
+    emit("q-composite capture-attack tradeoff", render_attack_tradeoff(result))
+
+    frac = {
+        (int(pt.point["q"]), int(pt.point["captured"])): pt.estimate.estimate
+        for pt in result.points
+    }
+    analytic = {
+        (int(pt.point["q"]), int(pt.point["captured"])): pt.prediction
+        for pt in result.points
+    }
+
+    # Small attack: larger q is more resilient.
+    assert frac[(3, 10)] <= frac[(2, 10)] <= frac[(1, 10)] + 0.02
+    # Large attack: q = 3 loses to q = 1 (the tradeoff crossover).
+    assert frac[(3, 300)] > frac[(1, 300)]
+    # Analytic model tracks simulation.
+    for key, emp in frac.items():
+        assert abs(emp - analytic[key]) < 0.08, key

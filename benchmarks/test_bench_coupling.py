@@ -1,0 +1,36 @@
+"""Lemmas 5-6 bench: the coupling chain holds executably.
+
+Assertions: zero subset violations on successful couplings (exact
+property, not statistical), empirical success probability within
+binomial noise of the analytic product form, and success probability
+approaching 1 at the paper scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.coupling_check import (
+    render_coupling_check,
+    run_coupling_check,
+)
+from repro.simulation.engine import trials_from_env
+
+
+def test_bench_coupling_chain(benchmark):
+    trials = trials_from_env(30, full=200)
+    result = run_once(benchmark, run_coupling_check, trials=trials)
+    emit("Lemmas 5-6: binomial-ring coupling", render_coupling_check(result))
+
+    for pt in result.points:
+        n = int(pt.point["n"])
+        assert pt.point["subset_violations"] == 0, n
+        analytic = pt.prediction
+        sd = math.sqrt(max(analytic * (1 - analytic), 1e-6) / trials)
+        assert abs(pt.estimate.estimate - analytic) < 5 * sd + 0.05, n
+        # Lemma 6 gives away edge probability: y < s strictly.
+        assert 0.0 < pt.point["y_over_s"] < 1.0, n
+
+    largest = max(result.points, key=lambda pt: pt.point["n"])
+    assert largest.estimate.estimate > 0.9

@@ -1,0 +1,37 @@
+"""Lemma 9 bench: degree-count Poissonity.
+
+Shape assertions per degree h: the empirical mean count is within
+sampling noise of λ_{n,h} (exact binomial form), the count histogram is
+close to Poisson(λ) in total variation, and the empirical variance is
+of the same order as the mean (Poisson signature).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.degree_poisson import (
+    render_degree_poisson,
+    run_degree_poisson,
+)
+from repro.simulation.engine import trials_from_env
+
+
+def test_bench_degree_poisson(benchmark):
+    trials = trials_from_env(80, full=600)
+    result = run_once(benchmark, run_degree_poisson, trials=trials)
+    emit("Lemma 9: Poisson law for degree-h node counts", render_degree_poisson(result))
+
+    for pt in result.points:
+        h = int(pt.point["h"])
+        lam_exact = pt.point["lambda_exact"]
+        mean = pt.point["empirical_mean"]
+        sd = math.sqrt(max(lam_exact, 0.05) / trials)
+        assert abs(mean - lam_exact) < 6 * sd + 0.15, (h, mean, lam_exact)
+        # TV to the Poissonized reference shrinks with trials; allow a
+        # generous quick-mode budget plus the Poissonization gap.
+        assert pt.point["tv_distance"] < 0.30 + 60.0 / trials, h
+        # Variance within a factor ~3 of the mean (Poisson-like).
+        if lam_exact > 0.5:
+            assert pt.point["empirical_var"] < 4.0 * lam_exact + 1.0, h

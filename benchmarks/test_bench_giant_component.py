@@ -1,0 +1,35 @@
+"""Giant-component bench (component evolution, paper §IX related work).
+
+Shape assertions: subcritical mean degrees (c < 1) leave only sublinear
+components, supercritical ones grow a giant part tracking the ER
+branching-process limit ρ(c) at matched edge probability.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.giant_component import (
+    er_giant_fraction,
+    render_giant_component,
+    run_giant_component,
+)
+from repro.simulation.engine import trials_from_env
+
+
+def test_bench_giant_component(benchmark):
+    trials = trials_from_env(30, full=200)
+    result = run_once(benchmark, run_giant_component, trials=trials)
+    emit("Giant component evolution", render_giant_component(result))
+
+    by_c = {pt.point["mean_degree"]: pt for pt in result.points}
+
+    # Subcritical: largest component is a vanishing fraction.
+    assert by_c[0.5].point["mean_fraction"] < 0.05
+    assert by_c[0.8].point["mean_fraction"] < 0.10
+    # Supercritical: tracks the branching-process limit.
+    for c in (2.0, 3.0, 5.0):
+        limit = er_giant_fraction(c)
+        assert abs(by_c[c].point["mean_fraction"] - limit) < 0.08, c
+    # Monotone growth across the transition.
+    fracs = [by_c[c].point["mean_fraction"] for c in sorted(by_c)]
+    assert all(a <= b + 0.02 for a, b in zip(fracs, fracs[1:]))

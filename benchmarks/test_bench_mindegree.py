@@ -1,0 +1,39 @@
+"""Lemma 8 bench: min-degree law + equivalence with k-connectivity.
+
+Shape assertions: P[k-connected] <= P[min degree >= k] pointwise (a
+theorem, not a tendency), per-sample agreement rates are high, and the
+min-degree estimates track the Poisson-refined prediction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.mindegree_equiv import (
+    render_mindegree_equiv,
+    run_mindegree_equiv,
+)
+from repro.simulation.engine import trials_from_env
+
+
+def test_bench_mindegree_equivalence(benchmark):
+    trials = trials_from_env(40, full=300)
+    result = run_once(benchmark, run_mindegree_equiv, trials=trials)
+    emit(
+        "Lemma 8: min degree law and k-connectivity equivalence",
+        render_mindegree_equiv(result),
+    )
+
+    tol = 3.0 * math.sqrt(0.25 / trials) + 0.15
+    for pt in result.points:
+        k = int(pt.point["k"])
+        # Necessity: k-connectivity implies min degree >= k.
+        assert pt.point["kconn_estimate"] <= pt.estimate.estimate + 1e-12, k
+        # High per-sample agreement (the Lemma 8 ⇔ Theorem 1 content).
+        assert pt.point["agreement"] > 0.7, (k, pt.point["alpha"])
+        # Poisson-refined tracking of the min-degree probability.
+        assert abs(pt.estimate.estimate - pt.point["poisson_refined"]) < tol, (
+            k,
+            pt.point["alpha"],
+        )

@@ -1,0 +1,39 @@
+"""Resilient-connectivity bench (capture attacks, paper ref. [36]).
+
+Shape assertions: with no captures both connectivity notions agree and
+are high (the design targets 0.95); as captures grow, resilient
+connectivity degrades at least as fast as plain connectivity, and the
+mean compromised fraction grows monotonically.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.resilience import render_resilience, run_resilience
+from repro.simulation.engine import trials_from_env
+
+
+def test_bench_resilience(benchmark):
+    trials = trials_from_env(25, full=150)
+    result = run_once(benchmark, run_resilience, trials=trials)
+    emit("Resilient connectivity under capture", render_resilience(result))
+
+    by_key = {
+        (int(pt.point["q"]), int(pt.point["captured"])): pt
+        for pt in result.points
+    }
+    qs = sorted({k[0] for k in by_key})
+    grid = sorted({k[1] for k in by_key})
+
+    for q in qs:
+        baseline = by_key[(q, 0)]
+        assert baseline.point["mean_compromise_fraction"] == 0.0
+        assert baseline.estimate.estimate > 0.75, q  # designed for 0.95
+
+        fracs = [by_key[(q, c)].point["mean_compromise_fraction"] for c in grid]
+        assert all(a <= b + 1e-9 for a, b in zip(fracs, fracs[1:])), q
+
+        for c in grid:
+            pt = by_key[(q, c)]
+            # Resilient connectivity can never beat plain connectivity.
+            assert pt.estimate.estimate <= pt.point["plain_connected"] + 1e-9

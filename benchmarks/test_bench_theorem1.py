@@ -1,0 +1,44 @@
+"""Theorem 1 exact-probability validation bench (Eqs. 7-8).
+
+Sweeps the deviation α at fixed (n, K, P, q) and compares the empirical
+k-connectivity probability against ``exp(-e^{-α}/(k-1)!)``.  Shape
+assertions: monotone in α, near 0 at α = -2, near 1 at α = +4, and the
+finite-n Poisson refinement tracks within combined Monte-Carlo +
+finite-size tolerance at every grid point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.theorem1_check import (
+    render_theorem1_check,
+    run_theorem1_check,
+)
+from repro.simulation.engine import trials_from_env
+
+
+def test_bench_theorem1_alpha_sweep(benchmark):
+    trials = trials_from_env(60, full=400)
+    result = run_once(benchmark, run_theorem1_check, trials=trials)
+    emit("Theorem 1: empirical vs exp(-e^-a/(k-1)!)", render_theorem1_check(result))
+
+    tol = 3.0 * math.sqrt(0.25 / trials) + 0.12  # CI + finite-size bias
+    by_k: dict = {}
+    for pt in result.points:
+        k = int(pt.point["k"])
+        by_k.setdefault(k, []).append((pt.point["alpha"], pt))
+
+    for k, series in by_k.items():
+        series.sort()
+        estimates = [pt.estimate.estimate for _, pt in series]
+        # Ends of the zero-one transition.
+        assert estimates[0] < 0.25, (k, "alpha=-2 should be mostly disconnected")
+        assert estimates[-1] > 0.75, (k, "alpha=+4 should be mostly connected")
+        # Refined prediction tracks everywhere.
+        for alpha, pt in series:
+            assert abs(pt.estimate.estimate - pt.point["poisson_refined"]) < tol, (
+                k,
+                alpha,
+            )

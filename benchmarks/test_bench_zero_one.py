@@ -1,0 +1,38 @@
+"""Zero-one law bench (Eqs. 8b-8c): the transition sharpens with n.
+
+At fixed deviation offsets ±α₀ the empirical probabilities must
+separate cleanly (low side < high side at every n) and the gap between
+the ±3 offsets must be wide at the largest n.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.zero_one import render_zero_one, run_zero_one
+from repro.simulation.engine import trials_from_env
+
+
+def test_bench_zero_one_sharpening(benchmark):
+    trials = trials_from_env(50, full=500)
+    result = run_once(
+        benchmark,
+        run_zero_one,
+        trials=trials,
+        num_nodes_grid=(200, 500, 1000),
+    )
+    emit("Zero-one law: P[connected] at fixed ±alpha", render_zero_one(result))
+
+    by_n: dict = {}
+    for pt in result.points:
+        by_n.setdefault(int(pt.point["n"]), {})[pt.point["alpha"]] = (
+            pt.estimate.estimate
+        )
+
+    for n, series in by_n.items():
+        assert series[-3.0] < series[3.0], n
+        assert series[-3.0] <= series[-1.5] + 0.15, n
+        assert series[1.5] <= series[3.0] + 0.15, n
+
+    largest = by_n[max(by_n)]
+    assert largest[-3.0] < 0.25
+    assert largest[3.0] > 0.8

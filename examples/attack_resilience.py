@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The q-composite tradeoff under node-capture attacks.
+
+Reproduces the motivation from the paper's introduction (due to Chan,
+Perrig & Song): raising the required key overlap q strengthens the
+network against *small* capture attacks but weakens it against *large*
+ones — once each scheme's ring size is scaled to deliver the same
+connectivity (Eq. 9).
+
+The script deploys one network per q with its connectivity-equalized
+ring size, simulates adversaries of growing strength, and prints the
+compromised-link fraction next to the Chan-Perrig-Song analytic
+estimate, making the crossover visible.
+
+Run:  python examples/attack_resilience.py
+"""
+
+from repro import OnOffChannel, QCompositeScheme, SecureWSN
+from repro.core.design import minimal_key_ring_size
+from repro.utils.tables import format_table
+from repro.wsn.attacks import analytic_compromise_fraction, capture_attack
+
+
+def main() -> None:
+    design_n, pool = 1000, 10_000
+    sim_n = 400  # per-link statistics don't depend on n; keep the sim cheap
+    captured_grid = (10, 50, 150, 300)
+
+    rows = []
+    for q in (1, 2, 3):
+        ring = minimal_key_ring_size(design_n, pool, q, 1.0)
+        network = SecureWSN(
+            sim_n,
+            QCompositeScheme(ring, pool, q),
+            OnOffChannel(1.0),
+            seed=100 + q,
+        )
+        for captured in captured_grid:
+            outcome = capture_attack(network, captured, seed=q * 1000 + captured)
+            analytic = analytic_compromise_fraction(ring, pool, q, captured)
+            rows.append(
+                [
+                    q,
+                    ring,
+                    captured,
+                    outcome.compromise_fraction,
+                    analytic,
+                    outcome.links_evaluated,
+                ]
+            )
+
+    print(
+        format_table(
+            [
+                "q",
+                "K*(q)",
+                "nodes captured",
+                "links compromised (sim)",
+                "analytic",
+                "links audited",
+            ],
+            rows,
+            title=(
+                "Capture resilience at equalized connectivity "
+                f"(design n={design_n}, P={pool})"
+            ),
+        )
+    )
+    print()
+    print(
+        "Reading: at 10 captured nodes, q=3 leaks the least; at 300 the\n"
+        "ordering flips — exactly the small-vs-large-scale tradeoff the\n"
+        "paper's introduction describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

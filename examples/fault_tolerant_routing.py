@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""k-connectivity in action: secure routing under sensor failures.
+
+Deploys a WSN dimensioned for 2-connectivity, routes a message between
+two sensors (deriving the per-hop q-composite link keys), then starts
+failing sensors — including ones on the active route — and shows the
+network re-routing until connectivity finally breaks.  This is the
+operational meaning of the paper's k-connectivity guarantee: "connected
+despite the failure of any (k-1) sensors".
+
+Run:  python examples/fault_tolerant_routing.py
+"""
+
+import numpy as np
+
+from repro import OnOffChannel, QCompositeScheme, SecureWSN
+from repro.core.design import minimal_key_ring_size
+from repro.wsn.routing import find_secure_route
+
+
+def main() -> None:
+    n, pool, q, p = 300, 5000, 2, 0.8
+    ring = minimal_key_ring_size(n, pool, q, p, k=2, target_probability=0.97)
+    print(f"designing for 2-connectivity @0.97: n={n}, K={ring}, P={pool}, "
+          f"q={q}, p={p}")
+
+    network = SecureWSN(
+        n, QCompositeScheme(ring, pool, q), OnOffChannel(p), seed=2024
+    )
+    print(f"deployed: {network.secure_edges().shape[0]} secure links, "
+          f"2-connected: {network.is_k_connected(2)}")
+
+    source, target = 0, n - 1
+    rng = np.random.default_rng(5)
+    round_no = 0
+    while True:
+        route = find_secure_route(network, source, target)
+        if route is None:
+            print(f"round {round_no}: no secure route left — "
+                  f"{network.live_count()} sensors alive")
+            break
+        hops = " -> ".join(map(str, route.hops))
+        key_preview = route.link_keys[0].hex()[:16]
+        print(
+            f"round {round_no}: route length {route.length} [{hops}] "
+            f"(first hop key {key_preview}…)"
+        )
+
+        # An adversary with perfect knowledge kills a relay on the route;
+        # if the route is direct, kill random sensors instead.
+        interior = route.hops[1:-1]
+        if interior:
+            victim = int(rng.choice(interior))
+        else:
+            candidates = [
+                s.node_id
+                for s in network.sensors
+                if s.alive and s.node_id not in (source, target)
+            ]
+            if not candidates:
+                print("only the endpoints remain")
+                break
+            victim = int(rng.choice(candidates))
+        network.fail_nodes([victim])
+        print(f"         adversary disables sensor {victim}")
+        round_no += 1
+        if round_no > 25:
+            print("stopping after 25 rounds (network is very robust)")
+            break
+
+    print(f"\nfinal state: {network.live_count()}/{n} sensors alive, "
+          f"still connected: {network.is_connected()}")
+
+
+if __name__ == "__main__":
+    main()

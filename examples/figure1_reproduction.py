@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Reproduce Figure 1 of the paper (reduced grid by default).
+
+Sweeps the key ring size K for the six (q, p) curves at n = 1000,
+P = 10000, estimating the probability that the secure WSN topology is
+connected, and overlays the Theorem 1 prediction.  Prints the numeric
+table, an ASCII rendering of each curve, and the comparison between the
+empirical e^{-1} crossings and the Eq. (9) thresholds.
+
+Environment knobs:
+    REPRO_TRIALS=<n>   Monte Carlo trials per point (default 40 here)
+    REPRO_FULL=1       paper fidelity (500 trials)
+    REPRO_WORKERS=<n>  process count
+
+Run:  python examples/figure1_reproduction.py
+"""
+
+import math
+import os
+
+from repro.core.design import minimal_key_ring_size
+from repro.experiments.figure1 import (
+    empirical_crossings,
+    render_figure1,
+    run_figure1,
+)
+from repro.simulation.engine import trials_from_env
+from repro.utils.tables import format_curve, format_table
+
+
+def main() -> None:
+    trials = trials_from_env(40, full=500)
+    print(f"Running Figure 1 sweep with {trials} trials/point "
+          f"(REPRO_TRIALS / REPRO_FULL=1 to change) ...")
+    result = run_figure1(trials=trials, ring_sizes=list(range(28, 89, 6)))
+
+    print()
+    print(render_figure1(result))
+    print()
+
+    # ASCII plot per curve, like the paper's figure.
+    by_curve: dict = {}
+    for pt in result.points:
+        key = (int(pt.point["q"]), float(pt.point["p"]))
+        by_curve.setdefault(key, []).append(
+            (int(pt.point["K"]), pt.estimate.estimate)
+        )
+    for (q, p), series in sorted(by_curve.items()):
+        series.sort()
+        xs = [k for k, _ in series]
+        ys = [y for _, y in series]
+        print(format_curve(xs, ys, label=f"q={q}, p={p}: P[connected] vs K"))
+        print()
+
+    # Threshold comparison.
+    rows = []
+    for (q, p), crossing in sorted(empirical_crossings(result).items()):
+        exact = minimal_key_ring_size(1000, 10000, q, p)
+        asym = minimal_key_ring_size(1000, 10000, q, p, method="asymptotic")
+        rows.append([q, p, crossing, exact, asym])
+    print(
+        format_table(
+            [
+                "q",
+                "p",
+                "empirical e^-1 crossing",
+                "K* exact (Eq. 9)",
+                "K* asymptotic",
+            ],
+            rows,
+            title=(
+                "Empirical thresholds vs Eq. (9) "
+                f"(e^-1 = {math.exp(-1):.3f} is the alpha=0 level)"
+            ),
+            floatfmt=".1f",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

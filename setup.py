@@ -1,0 +1,11 @@
+"""Legacy build shim.
+
+Environments without the ``wheel`` package cannot run PEP 517 editable
+builds; keeping this stub (and no ``[build-system]`` table in
+``pyproject.toml``) lets ``pip install -e .`` fall back to the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Channel models: on/off (Erdős–Rényi) and disk (random geometric)."""
+
+from repro.channels.base import ChannelModel, ChannelRealization
+from repro.channels.composite import CompositeChannel, CompositeRealization
+from repro.channels.disk import DiskChannel, DiskRealization
+from repro.channels.onoff import OnOffChannel, OnOffRealization, sample_onoff_mask
+
+__all__ = [
+    "ChannelModel",
+    "ChannelRealization",
+    "CompositeChannel",
+    "CompositeRealization",
+    "DiskChannel",
+    "DiskRealization",
+    "OnOffChannel",
+    "OnOffRealization",
+    "sample_onoff_mask",
+]

@@ -1,0 +1,65 @@
+"""Channel model interfaces.
+
+A *channel model* decides, independently of the key assignment, which
+node-to-node channels can carry traffic.  The paper's main model is the
+on/off channel (an Erdős–Rényi overlay); the disk model appears in its
+related-work discussion and is provided as an extension for comparison
+experiments.
+
+A model is split from its *realization*: ``sample()`` fixes the random
+state of every channel for one deployment, after which masking the same
+edge twice gives the same answer — the property the coupling arguments
+and the failure-injection layer rely on.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.rng import RandomState
+
+__all__ = ["ChannelModel", "ChannelRealization"]
+
+
+class ChannelRealization(abc.ABC):
+    """Fixed channel state for one deployment of ``n`` nodes."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = int(num_nodes)
+
+    @abc.abstractmethod
+    def edge_mask(self, edges: np.ndarray) -> np.ndarray:
+        """Boolean vector: is the channel *on* for each candidate edge?
+
+        *edges* is an ``(m, 2)`` array of node pairs.  Must be
+        deterministic across repeated queries of the same pair within
+        one realization.
+        """
+
+    @abc.abstractmethod
+    def channel_edges(self) -> np.ndarray:
+        """Full ``(m, 2)`` edge array of the channel graph itself.
+
+        May be expensive (it enumerates all ``n(n-1)/2`` channels for
+        the on/off model); simulation hot paths use :meth:`edge_mask` on
+        candidate edges instead.
+        """
+
+
+class ChannelModel(abc.ABC):
+    """Factory of channel realizations."""
+
+    @abc.abstractmethod
+    def sample(self, num_nodes: int, seed: RandomState = None) -> ChannelRealization:
+        """Draw the channel state for a deployment of *num_nodes* sensors."""
+
+    @abc.abstractmethod
+    def edge_probability(self) -> float:
+        """Marginal probability that a given channel is usable.
+
+        For the on/off model this is exactly ``p``; for the disk model it
+        is the probability that two independently placed nodes fall
+        within transmission range.
+        """

@@ -1,0 +1,84 @@
+"""Composite channel: the conjunction of several physical constraints.
+
+Reference [38] of the paper studies secure WSNs under *transmission
+constraints*: a link needs the key predistribution condition AND a
+working channel AND geometric reachability.  :class:`CompositeChannel`
+models any such conjunction by AND-ing the edge masks of its member
+channel models — e.g. ``CompositeChannel([OnOffChannel(0.8),
+DiskChannel(0.15)])`` yields the triple intersection
+``G_q ∩ G(n, p) ∩ RGG(n, r)`` when composed through
+:class:`~repro.wsn.network.SecureWSN`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.channels.base import ChannelModel, ChannelRealization
+from repro.utils.rng import RandomState, spawn_generators
+
+__all__ = ["CompositeChannel", "CompositeRealization"]
+
+
+class CompositeRealization(ChannelRealization):
+    """Fixed joint state: a channel is on iff it is on in every member."""
+
+    def __init__(self, members: List[ChannelRealization]) -> None:
+        if not members:
+            raise ValueError("CompositeRealization needs at least one member")
+        nodes = {m.num_nodes for m in members}
+        if len(nodes) != 1:
+            raise ValueError(f"member realizations disagree on num_nodes: {nodes}")
+        super().__init__(members[0].num_nodes)
+        self.members = members
+
+    def edge_mask(self, edges: np.ndarray) -> np.ndarray:
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            return np.zeros(0, dtype=bool)
+        mask = self.members[0].edge_mask(edges)
+        for member in self.members[1:]:
+            if not mask.any():
+                break
+            # Query every member on all edges (not just survivors) so the
+            # realization stays consistent under repeated/partial queries.
+            mask = mask & member.edge_mask(edges)
+        return mask
+
+    def channel_edges(self) -> np.ndarray:
+        edges = self.members[0].channel_edges()
+        for member in self.members[1:]:
+            if edges.size == 0:
+                break
+            keep = member.edge_mask(edges)
+            edges = edges[keep]
+        return edges
+
+
+class CompositeChannel(ChannelModel):
+    """AND-composition of independent channel models."""
+
+    def __init__(self, members: Sequence[ChannelModel]) -> None:
+        members = list(members)
+        if not members:
+            raise ValueError("CompositeChannel needs at least one member")
+        self.members = members
+
+    def sample(self, num_nodes: int, seed: RandomState = None) -> CompositeRealization:
+        seeds = spawn_generators(seed, len(self.members))
+        return CompositeRealization(
+            [m.sample(num_nodes, s) for m, s in zip(self.members, seeds)]
+        )
+
+    def edge_probability(self) -> float:
+        """Product of member marginals (members are independent)."""
+        prob = 1.0
+        for member in self.members:
+            prob *= member.edge_probability()
+        return prob
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(m) for m in self.members)
+        return f"CompositeChannel([{inner}])"

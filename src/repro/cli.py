@@ -1,0 +1,103 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``repro list``
+    Show every registered experiment with its paper anchor.
+``repro run NAME [--trials N] [--workers N] [--seed N] [--save PATH]``
+    Run one experiment and print its rendered table(s).
+``repro all [--trials N] ...``
+    Run the full suite in registry order (quick trial counts unless
+    overridden), printing each block — the "regenerate the evaluation
+    section" button.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.simulation.results import save_result
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Secure connectivity of WSNs under "
+            "key predistribution with on/off channels' (ICDCS 2017)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for cmd in ("run", "all"):
+        p = sub.add_parser(
+            cmd,
+            help="run one experiment" if cmd == "run" else "run every experiment",
+        )
+        if cmd == "run":
+            p.add_argument("name", help="experiment name (see `repro list`)")
+            p.add_argument("--save", help="write the result JSON to this path")
+        p.add_argument("--trials", type=int, default=None, help="Monte Carlo trials")
+        p.add_argument("--workers", type=int, default=None, help="process count")
+        p.add_argument("--seed", type=int, default=None, help="root seed override")
+    return parser
+
+
+def _run_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if getattr(args, "seed", None) is not None:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for spec in list_experiments():
+            print(f"{spec.name:16} {spec.paper_anchor:42} {spec.description}")
+        return 0
+
+    if args.command == "run":
+        spec = get_experiment(args.name)
+        kwargs = _run_kwargs(args)
+        if spec.name == "kstar":
+            kwargs.pop("trials", None)  # purely numeric experiment
+            kwargs.pop("workers", None)
+            kwargs.pop("seed", None)
+        result = spec.run(**kwargs)
+        print(spec.render(result))
+        if args.save:
+            save_result(result, args.save)
+            print(f"\nsaved: {args.save}")
+        return 0
+
+    if args.command == "all":
+        for spec in list_experiments():
+            kwargs = _run_kwargs(args)
+            if spec.name == "kstar":
+                kwargs.pop("trials", None)
+                kwargs.pop("workers", None)
+                kwargs.pop("seed", None)
+            print(f"=== {spec.name} — {spec.paper_anchor} ===")
+            result = spec.run(**kwargs)
+            print(spec.render(result))
+            print()
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Lemma 1: the confined-deviation constructions, made executable.
+
+Lemma 1 lets the proof of Theorem 1 assume ``|α_n| = o(ln n)``: when
+``α_n → ∞`` (resp. ``-∞``) it constructs a *comparison network* whose
+deviation is clipped to the ``ln ln n`` scale and which is a spanning
+subgraph (resp. supergraph) of the original, so the zero–one conclusion
+transfers by monotonicity.
+
+The constructions are fully explicit, so this module implements them as
+parameter transforms on :class:`QCompositeParams`:
+
+* **Property (i)** (``α`` large): clip ``α̃ = min(α, ln ln n)`` and
+  shrink the channel probability to ``p̃`` with
+  ``s(K,P,q) · p̃ = (ln n + (k-1) ln ln n + α̃)/n``.  Then ``p̃ <= p``,
+  so the new network couples as a spanning subgraph of the original.
+* **Property (ii)** (``α`` very negative): raise ``α̂ = max(α, -ln ln n)``.
+  Case ➊ — if ``s(K,P,q)`` already reaches the lifted target, keep ``K``
+  and raise only ``p̂ = target/s <= 1``.  Case ➋ — otherwise set
+  ``p̂ = 1`` and grow the ring to the *largest* ``K̂`` whose ``s`` still
+  does not exceed the lifted target (Eq. 32), recomputing ``α̂`` from
+  ``K̂`` (Eq. 33).  Either way ``p̂ >= p`` and ``K̂ >= K``: the new
+  network couples as a spanning supergraph.
+
+Executable constructions let the test suite verify the lemma's claimed
+inequalities at concrete parameter values, and let users build the
+coupled comparison networks the proof reasons about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Dict
+
+from repro.exceptions import ParameterError
+from repro.params import QCompositeParams
+from repro.probability.hypergeometric import overlap_survival
+from repro.probability.limits import edge_probability_from_alpha
+from repro.core.scaling import deviation_alpha
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ConfinementCase",
+    "ConfinedDesign",
+    "confine_above",
+    "confine_below",
+]
+
+
+class ConfinementCase(enum.Enum):
+    """Which branch of Lemma 1 produced the comparison network."""
+
+    SUBGRAPH_CHANNEL = "property-i-channel-shrink"  # p̃ <= p, same K
+    SUPERGRAPH_CHANNEL = "property-ii-case-1-channel-raise"  # p̂ >= p, same K
+    SUPERGRAPH_RING = "property-ii-case-2-ring-grow"  # p̂ = 1, K̂ >= K
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfinedDesign:
+    """A comparison network produced by a Lemma 1 construction."""
+
+    original: QCompositeParams
+    confined: QCompositeParams
+    case: ConfinementCase
+    alpha_original: float
+    alpha_confined: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "original": self.original.to_dict(),
+            "confined": self.confined.to_dict(),
+            "case": self.case.value,
+            "alpha_original": self.alpha_original,
+            "alpha_confined": self.alpha_confined,
+        }
+
+
+def _loglog(num_nodes: int) -> float:
+    if num_nodes <= 3:
+        raise ParameterError("confinement needs num_nodes > 3 (ln ln n)")
+    return math.log(math.log(num_nodes))
+
+
+def confine_above(params: QCompositeParams, k: int = 1) -> ConfinedDesign:
+    """Property (i): clip a large deviation from above (Eqs. 17–22).
+
+    Returns a network with ``α̃ = min(α, ln ln n)`` obtained purely by
+    reducing the channel probability; the original network is a spanning
+    supergraph of it under the natural coupling.
+    """
+    k = check_positive_int(k, "k")
+    alpha = deviation_alpha(params, k)
+    alpha_clipped = min(alpha, _loglog(params.num_nodes))
+    if alpha_clipped == alpha:
+        return ConfinedDesign(
+            original=params,
+            confined=params,
+            case=ConfinementCase.SUBGRAPH_CHANNEL,
+            alpha_original=alpha,
+            alpha_confined=alpha,
+        )
+    target_t = edge_probability_from_alpha(alpha_clipped, params.num_nodes, k)
+    s = params.key_edge_probability()
+    p_tilde = target_t / s
+    if not 0.0 < p_tilde <= params.channel_prob + 1e-15:
+        raise ParameterError(
+            f"construction produced invalid p̃ = {p_tilde:.6g} "
+            f"(p = {params.channel_prob})"
+        )
+    confined = params.with_updates(channel_prob=min(p_tilde, params.channel_prob))
+    return ConfinedDesign(
+        original=params,
+        confined=confined,
+        case=ConfinementCase.SUBGRAPH_CHANNEL,
+        alpha_original=alpha,
+        alpha_confined=deviation_alpha(confined, k),
+    )
+
+
+def _largest_ring_below(
+    pool_size: int, q: int, ceiling: float, start: int
+) -> int:
+    """Eq. (32): largest integer ``K#`` with ``s(K#, P, q) <= ceiling``.
+
+    ``s`` is nondecreasing in ``K``, so integer bisection applies.
+    Requires ``s(start, P, q) <= ceiling`` (guaranteed in case ➋).
+    """
+    if overlap_survival(pool_size, pool_size, q) <= ceiling:
+        return pool_size
+    lo, hi = start, pool_size  # s(lo) <= ceiling < s(hi)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if overlap_survival(mid, pool_size, q) <= ceiling:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def confine_below(params: QCompositeParams, k: int = 1) -> ConfinedDesign:
+    """Property (ii): lift a very negative deviation (Eqs. 23–33).
+
+    Returns a network with deviation lifted toward ``-ln ln n`` obtained
+    by raising the channel probability (case ➊) or, when ``p̂`` would
+    exceed 1, by setting ``p̂ = 1`` and growing the key ring (case ➋).
+    The new network is a spanning supergraph of the original under the
+    natural coupling.
+    """
+    k = check_positive_int(k, "k")
+    alpha = deviation_alpha(params, k)
+    n = params.num_nodes
+    alpha_lifted = max(alpha, -_loglog(n))
+    target_t = edge_probability_from_alpha(alpha_lifted, n, k)
+    s = params.key_edge_probability()
+
+    if s >= target_t:
+        # Case ➊ — channels alone reach the lifted target.
+        p_hat = target_t / s
+        p_hat = max(p_hat, params.channel_prob)  # Eq. (28): p̂ >= p
+        confined = params.with_updates(channel_prob=min(p_hat, 1.0))
+        case = ConfinementCase.SUPERGRAPH_CHANNEL
+    else:
+        # Case ➋ — saturate the channel and grow the ring (Eqs. 31–33).
+        ring_hat = _largest_ring_below(
+            params.pool_size, params.overlap, target_t, params.key_ring_size
+        )
+        confined = params.with_updates(key_ring_size=ring_hat, channel_prob=1.0)
+        case = ConfinementCase.SUPERGRAPH_RING
+
+    return ConfinedDesign(
+        original=params,
+        confined=confined,
+        case=case,
+        alpha_original=alpha,
+        alpha_confined=deviation_alpha(confined, k),
+    )

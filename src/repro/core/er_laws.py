@@ -1,0 +1,35 @@
+"""Lemma 7: the Erdős–Rényi k-connectivity law (Erdős–Rényi 1961).
+
+For ``G(n, z_n)`` with ``z_n = (ln n + (k-1) ln ln n + α_n)/n``,
+
+    lim P[G(n, z_n) is k-connected] = exp(-e^{-lim α_n} / (k-1)!)
+
+This is both a lemma in the paper's proof (applied to the coupled graph
+``G(n, z_n)`` of Lemma 3) and the ``q``-free baseline the experiments
+compare against: at matched edge probability, the intersection graph
+``G_{n,q}`` and the ER graph should exhibit the *same* k-connectivity
+probability asymptotically — the substance of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from repro.probability.limits import (
+    alpha_from_edge_probability,
+    limit_probability,
+)
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["er_k_connectivity_probability", "er_alpha"]
+
+
+def er_alpha(num_nodes: int, edge_prob: float, k: int = 1) -> float:
+    """Deviation ``α_n`` of an ER graph's edge probability (Lemma 7 form)."""
+    return alpha_from_edge_probability(edge_prob, num_nodes, k)
+
+
+def er_k_connectivity_probability(num_nodes: int, edge_prob: float, k: int = 1) -> float:
+    """Asymptotic ``P[G(n, p) is k-connected]`` under Lemma 7."""
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    edge_prob = check_probability(edge_prob, "edge_prob")
+    k = check_positive_int(k, "k")
+    return limit_probability(er_alpha(num_nodes, edge_prob, k), k)

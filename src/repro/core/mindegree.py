@@ -1,0 +1,56 @@
+"""Lemma 8: the minimum-degree law for ``G_{n,q}``.
+
+``P[min degree of G_{n,q} >= k]`` converges to the *same* limit as
+k-connectivity: ``exp(-e^{-α}/(k-1)!)``.  That identity is the upper
+bound in the proof of Theorem 1 (k-connectivity implies min degree
+>= k) and — since both limits agree — the paper's evidence that the
+obstructions to k-connectivity are purely local (low-degree nodes).
+
+Beyond the limit value, this module offers a finite-``n`` *refinement*:
+treating low-degree-node counts as independent Poissons with the exact
+binomial means ``λ_{n,h}`` (Lemma 9) gives
+
+    P[min degree >= k] ≈ exp( - Σ_{h=0}^{k-1} λ_{n,h} )
+
+which converges to the same limit (the sum is dominated by ``h = k-1``
+at the critical scaling) but tracks Monte Carlo estimates noticeably
+better at ``n`` in the hundreds — the min-degree experiment quantifies
+the improvement.
+"""
+
+from __future__ import annotations
+
+from repro.core.degree_distribution import lambda_nh_exact
+from repro.core.scaling import deviation_alpha
+from repro.params import QCompositeParams
+from repro.probability.limits import limit_probability
+from repro.utils.validation import check_positive_int
+import math
+
+__all__ = [
+    "min_degree_probability_limit",
+    "min_degree_probability_poisson",
+]
+
+
+def min_degree_probability_limit(params: QCompositeParams, k: int = 1) -> float:
+    """Lemma 8's asymptotic ``P[min degree >= k]`` (same law as Theorem 1)."""
+    k = check_positive_int(k, "k")
+    alpha = deviation_alpha(params, k)
+    return limit_probability(alpha, k)
+
+
+def min_degree_probability_poisson(params: QCompositeParams, k: int = 1) -> float:
+    """Finite-``n`` Poisson refinement ``exp(-Σ_{h<k} λ_{n,h})``.
+
+    Uses the exact binomial node-degree means; reduces to the limit law
+    as ``n → ∞`` under Eq. (6)'s scaling.
+    """
+    k = check_positive_int(k, "k")
+    t = params.edge_probability()
+    total = 0.0
+    for h in range(k):
+        total += lambda_nh_exact(params.num_nodes, t, h)
+    if total > 700.0:
+        return 0.0
+    return math.exp(-total)

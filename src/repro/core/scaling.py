@@ -1,0 +1,92 @@
+"""Critical-scaling transforms (Eq. 6) at the model-parameter level.
+
+Theorem 1 phrases everything through the deviation ``α_n`` of the edge
+probability ``t_{n,q}`` from the critical scaling
+``(ln n + (k-1) ln ln n)/n``.  These helpers move between the paper's
+parameter tuple and ``α`` in both directions — the forward direction
+reads off ``α`` from a concrete network, the backward direction is what
+the design API uses to place a network *at* a chosen deviation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.params import QCompositeParams
+from repro.probability.hypergeometric import overlap_survival
+from repro.probability.limits import (
+    alpha_from_edge_probability,
+    critical_edge_probability,
+    edge_probability_from_alpha,
+)
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "deviation_alpha",
+    "channel_prob_for_alpha",
+    "critical_scaling",
+    "scaling_report",
+]
+
+
+def deviation_alpha(params: QCompositeParams, k: int = 1) -> float:
+    """Return ``α_n`` for a concrete parameter tuple (Eq. 6).
+
+    ``α_n = n t_{n,q} - ln n - (k-1) ln ln n`` with
+    ``t_{n,q} = p · s(K, P, q)``.
+    """
+    return alpha_from_edge_probability(
+        params.edge_probability(), params.num_nodes, k
+    )
+
+
+def channel_prob_for_alpha(
+    num_nodes: int,
+    key_ring_size: int,
+    pool_size: int,
+    q: int,
+    alpha: float,
+    k: int = 1,
+) -> float:
+    """Channel probability ``p`` placing the network at deviation ``α``.
+
+    Solves ``p · s(K,P,q) = (ln n + (k-1) ln ln n + α)/n`` for ``p``.
+    Raises :class:`ParameterError` when the required ``p`` exceeds 1 —
+    i.e. when even perfect channels cannot reach that deviation with the
+    given key parameters (the situation Lemma 1's case ➋ handles by
+    growing ``K`` instead).
+    """
+    t_target = edge_probability_from_alpha(alpha, num_nodes, k)
+    s = overlap_survival(key_ring_size, pool_size, q)
+    if s <= 0.0:
+        raise ParameterError("key-graph edge probability is zero; increase K")
+    p = t_target / s
+    if p > 1.0:
+        raise ParameterError(
+            f"alpha={alpha} needs channel prob {p:.4g} > 1 at K={key_ring_size}; "
+            "increase the key ring size instead"
+        )
+    if p <= 0.0:
+        raise ParameterError(f"alpha={alpha} yields non-positive channel prob {p:.4g}")
+    return p
+
+
+def critical_scaling(num_nodes: int, k: int = 1) -> float:
+    """The threshold ``(ln n + (k-1) ln ln n) / n`` itself."""
+    return critical_edge_probability(num_nodes, k)
+
+
+def scaling_report(params: QCompositeParams, k: int = 1) -> Dict[str, float]:
+    """Bundle of scaling quantities for one network (harness output)."""
+    check_positive_int(k, "k")
+    t = params.edge_probability()
+    alpha = deviation_alpha(params, k)
+    return {
+        "edge_probability": t,
+        "critical": critical_scaling(params.num_nodes, k),
+        "alpha": alpha,
+        "mean_degree": params.mean_degree(),
+        "log_n": math.log(params.num_nodes),
+    }

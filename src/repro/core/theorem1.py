@@ -1,0 +1,99 @@
+"""Theorem 1: asymptotically exact k-connectivity probability + zero–one law.
+
+The predictor maps a concrete parameter tuple ``(n, K, P, q, p)`` and a
+connectivity order ``k`` to the paper's asymptotic probability
+
+    P[G_{n,q} is k-connected]  →  exp( -e^{-α_n} / (k-1)! )
+
+by computing the deviation ``α_n`` exactly (Eq. 6, using the exact
+hypergeometric ``s_{n,q}`` rather than its asymptotic form) and
+evaluating the limit law at it.  The regime classifier exposes the
+zero–one law view (Eqs. 8a–8c) for design narratives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Dict
+
+from repro.core.conditions import ConditionReport, check_theorem1_conditions
+from repro.core.scaling import deviation_alpha
+from repro.params import QCompositeParams
+from repro.probability.limits import limit_probability
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ConnectivityRegime",
+    "Theorem1Prediction",
+    "predict_k_connectivity",
+    "classify_regime",
+]
+
+
+class ConnectivityRegime(enum.Enum):
+    """Which clause of the zero–one law a design point falls under.
+
+    At finite ``n`` the classification is by the magnitude of ``α_n``
+    relative to ``ln ln n`` (the natural deviation scale appearing in
+    the paper's confinement argument): designs within ``±ln ln n`` of
+    the threshold are *critical*, far above it *connected whp*, far
+    below *disconnected whp*.
+    """
+
+    DISCONNECTED_WHP = "disconnected-whp"  # Eq. (8c): alpha -> -inf
+    CRITICAL = "critical"  # Eq. (8a): alpha -> alpha*
+    CONNECTED_WHP = "connected-whp"  # Eq. (8b): alpha -> +inf
+
+
+@dataclasses.dataclass(frozen=True)
+class Theorem1Prediction:
+    """Prediction bundle for one design point."""
+
+    params: QCompositeParams
+    k: int
+    alpha: float
+    probability: float
+    regime: ConnectivityRegime
+    conditions: ConditionReport
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "params": self.params.to_dict(),
+            "k": self.k,
+            "alpha": self.alpha,
+            "probability": self.probability,
+            "regime": self.regime.value,
+            "conditions": self.conditions.to_dict(),
+        }
+
+
+def classify_regime(alpha: float, num_nodes: int) -> ConnectivityRegime:
+    """Classify a deviation value against the ``ln ln n`` scale."""
+    scale = math.log(max(math.log(max(num_nodes, 3)), math.e))
+    if alpha > scale:
+        return ConnectivityRegime.CONNECTED_WHP
+    if alpha < -scale:
+        return ConnectivityRegime.DISCONNECTED_WHP
+    return ConnectivityRegime.CRITICAL
+
+
+def predict_k_connectivity(params: QCompositeParams, k: int = 1) -> Theorem1Prediction:
+    """Apply Theorem 1 to a design point.
+
+    Returns the asymptotic probability ``exp(-e^{-α}/(k-1)!)`` together
+    with the deviation, regime classification, and the side-condition
+    scores callers should inspect before trusting the number at small
+    ``n``.
+    """
+    k = check_positive_int(k, "k")
+    alpha = deviation_alpha(params, k)
+    return Theorem1Prediction(
+        params=params,
+        k=k,
+        alpha=alpha,
+        probability=limit_probability(alpha, k),
+        regime=classify_regime(alpha, params.num_nodes),
+        conditions=check_theorem1_conditions(params),
+    )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary.  Standard Python exceptions (``TypeError`` for wrong argument
+types, ``ValueError`` raised by numpy, ...) may still propagate from
+misuse that the library does not guard explicitly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or experiment parameter is outside its valid domain.
+
+    Raised, for example, when a key ring size exceeds the key pool size,
+    when a probability lies outside ``[0, 1]``, or when the required key
+    overlap ``q`` is not a positive integer.  Inherits from ``ValueError``
+    so generic callers that catch ``ValueError`` keep working.
+    """
+
+
+class GraphError(ReproError):
+    """An operation on a graph received an invalid graph or node."""
+
+
+class SimulationError(ReproError):
+    """A Monte Carlo simulation could not be carried out as requested."""
+
+
+class DesignError(ReproError):
+    """A network-design query has no feasible solution.
+
+    Raised by the dimensioning solvers in :mod:`repro.core.design` when no
+    parameter value in the allowed range achieves the requested target
+    (e.g. no key ring size ``K <= P/2`` reaches the connectivity
+    threshold).
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured or invoked incorrectly."""

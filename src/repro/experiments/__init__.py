@@ -1,0 +1,10 @@
+"""Experiment harness: every figure/table of the paper plus validations."""
+
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+)
+
+__all__ = ["REGISTRY", "ExperimentSpec", "get_experiment", "list_experiments"]

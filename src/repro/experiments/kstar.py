@@ -1,0 +1,82 @@
+"""The Eq. (9) threshold table (paper Section IV, in-text).
+
+Regenerates the six ``K*`` values — minimal ring size whose edge
+probability exceeds ``ln n / n`` — under both evaluations of
+``s(K, P, q)`` and sets them against the values the paper reports.
+See :func:`repro.core.design.minimal_key_ring_size` for why the two
+methods differ and which the paper evidently used.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.design import PAPER_REPORTED_KSTAR, paper_kstar_table
+from repro.simulation.results import ExperimentResult
+from repro.utils.tables import format_table
+
+__all__ = ["run_kstar", "render_kstar"]
+
+
+def run_kstar(num_nodes: int = 1000, pool_size: int = 10000) -> ExperimentResult:
+    """Compute the threshold table; purely numeric (no Monte Carlo)."""
+    exact = paper_kstar_table(num_nodes, pool_size, method="exact")
+    asym = paper_kstar_table(num_nodes, pool_size, method="asymptotic")
+    points = []
+    from repro.simulation.estimators import BernoulliEstimate
+    from repro.simulation.results import CurvePoint
+
+    for (q, p, k_exact), (_, _, k_asym), (_, _, k_paper) in zip(
+        exact, asym, PAPER_REPORTED_KSTAR
+    ):
+        # Encode the three integers in the point dict; the estimate slot
+        # is unused for this numeric table (1 trial, trivially "success").
+        points.append(
+            CurvePoint(
+                point={
+                    "q": q,
+                    "p": p,
+                    "kstar_exact": k_exact,
+                    "kstar_asymptotic": k_asym,
+                    "kstar_paper": k_paper,
+                },
+                estimate=BernoulliEstimate.from_counts(1, 1),
+                prediction=None,
+            )
+        )
+    return ExperimentResult(
+        name="kstar",
+        config={"num_nodes": num_nodes, "pool_size": pool_size},
+        points=points,
+    )
+
+
+def render_kstar(result: ExperimentResult) -> str:
+    rows: List[List[object]] = []
+    matches = 0
+    for pt in result.points:
+        q = int(pt.point["q"])
+        p = float(pt.point["p"])
+        k_exact = int(pt.point["kstar_exact"])
+        k_asym = int(pt.point["kstar_asymptotic"])
+        k_paper = int(pt.point["kstar_paper"])
+        if k_asym == k_paper:
+            matches += 1
+        rows.append(
+            [q, p, k_paper, k_asym, k_exact, abs(k_asym - k_paper)]
+        )
+    table = format_table(
+        ["q", "p", "paper K*", "ours (asymptotic s)", "ours (exact s)", "|Δ| vs paper"],
+        rows,
+        title=(
+            f"Eq. (9) thresholds, n={result.config['num_nodes']}, "
+            f"P={result.config['pool_size']}"
+        ),
+        floatfmt=".1f",
+    )
+    note = (
+        f"\nasymptotic-s column matches the paper on {matches}/6 rows "
+        "(remaining rows differ by one integer step); the exact-s column "
+        "is the literal Eq. (9) with the hypergeometric tail."
+    )
+    return table + note

@@ -1,0 +1,141 @@
+"""Experiment registry: names → (runner, renderer).
+
+Single source of truth used by the CLI (``python -m repro``) and by the
+benchmark harness, so "every table and figure" is enumerable in one
+place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List
+
+from repro.exceptions import ExperimentError
+from repro.simulation.results import ExperimentResult
+
+__all__ = ["ExperimentSpec", "REGISTRY", "get_experiment", "list_experiments"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment with its paper anchor."""
+
+    name: str
+    paper_anchor: str
+    description: str
+    run: Callable[..., ExperimentResult]
+    render: Callable[[ExperimentResult], str]
+
+
+def _build_registry() -> Dict[str, ExperimentSpec]:
+    from repro.experiments import (
+        attack_tradeoff,
+        coupling_check,
+        degree_poisson,
+        disk_comparison,
+        figure1,
+        giant_component,
+        kstar,
+        mindegree_equiv,
+        resilience,
+        theorem1_check,
+        zero_one,
+    )
+
+    specs = [
+        ExperimentSpec(
+            name="figure1",
+            paper_anchor="Figure 1 (Section IV)",
+            description="Empirical P[connected] vs K for six (q, p) curves.",
+            run=figure1.run_figure1,
+            render=figure1.render_figure1,
+        ),
+        ExperimentSpec(
+            name="kstar",
+            paper_anchor="Eq. (9) thresholds (Section IV, in-text)",
+            description="Minimal K* clearing ln n / n, exact vs asymptotic.",
+            run=kstar.run_kstar,
+            render=kstar.render_kstar,
+        ),
+        ExperimentSpec(
+            name="theorem1",
+            paper_anchor="Theorem 1, Eqs. (7)-(8)",
+            description="Empirical P[k-connected] vs exp(-e^-a/(k-1)!) on an α grid.",
+            run=theorem1_check.run_theorem1_check,
+            render=theorem1_check.render_theorem1_check,
+        ),
+        ExperimentSpec(
+            name="zero_one",
+            paper_anchor="Theorem 1 zero-one law, Eqs. (8b)-(8c)",
+            description="Transition sharpening toward 0/1 as n grows at fixed ±α.",
+            run=zero_one.run_zero_one,
+            render=zero_one.render_zero_one,
+        ),
+        ExperimentSpec(
+            name="mindegree",
+            paper_anchor="Lemma 8 (Section VIII)",
+            description="Min-degree law and per-sample equivalence with k-connectivity.",
+            run=mindegree_equiv.run_mindegree_equiv,
+            render=mindegree_equiv.render_mindegree_equiv,
+        ),
+        ExperimentSpec(
+            name="degree_poisson",
+            paper_anchor="Lemma 9 (Section VIII)",
+            description="Poisson law for the number of degree-h nodes.",
+            run=degree_poisson.run_degree_poisson,
+            render=degree_poisson.render_degree_poisson,
+        ),
+        ExperimentSpec(
+            name="coupling",
+            paper_anchor="Lemmas 5-6 (Section VII)",
+            description="Binomial-ring coupling success and subset validity.",
+            run=coupling_check.run_coupling_check,
+            render=coupling_check.render_coupling_check,
+        ),
+        ExperimentSpec(
+            name="attack",
+            paper_anchor="Section I motivation (Chan et al. tradeoff)",
+            description="Capture-attack compromise fraction vs q, simulated + analytic.",
+            run=attack_tradeoff.run_attack_tradeoff,
+            render=attack_tradeoff.render_attack_tradeoff,
+        ),
+        ExperimentSpec(
+            name="disk",
+            paper_anchor="Section IX open question",
+            description="Disk vs on/off channels at matched edge probability.",
+            run=disk_comparison.run_disk_comparison,
+            render=disk_comparison.render_disk_comparison,
+        ),
+        ExperimentSpec(
+            name="giant",
+            paper_anchor="Section IX related work (component evolution)",
+            description="Giant-component emergence vs the ER branching limit.",
+            run=giant_component.run_giant_component,
+            render=giant_component.render_giant_component,
+        ),
+        ExperimentSpec(
+            name="resilience",
+            paper_anchor="Section IX related work (capture resilience, ref. [36])",
+            description="Connectivity over uncompromised links after capture.",
+            run=resilience.run_resilience,
+            render=resilience.render_resilience,
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+REGISTRY: Dict[str, ExperimentSpec] = _build_registry()
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up an experiment by name; raise with suggestions if unknown."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ExperimentError(f"unknown experiment {name!r}; known: {known}")
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """All experiments in registration order."""
+    return list(REGISTRY.values())

@@ -1,0 +1,153 @@
+"""Resilient connectivity under capture attacks (paper ref [36] extension).
+
+Sweeps the number of captured sensors and estimates, for each q (at
+its connectivity-equalized ring size), the probability that the
+*surviving* network stays connected using only uncompromised links —
+versus the probability ignoring link compromise.  The gap between the
+two columns is the price of key reuse: topology that survives
+physically but cannot be trusted cryptographically.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channels.onoff import OnOffChannel
+from repro.keygraphs.schemes import QCompositeScheme
+from repro.simulation.engine import run_trials, trials_from_env
+from repro.simulation.estimators import BernoulliEstimate
+from repro.simulation.results import CurvePoint, ExperimentResult
+from repro.utils.tables import format_table
+from repro.wsn.network import SecureWSN
+from repro.wsn.resilience import evaluate_resilience
+
+__all__ = ["run_resilience", "render_resilience", "resilience_trial"]
+
+
+def resilience_trial(
+    num_nodes: int,
+    key_ring_size: int,
+    pool_size: int,
+    q: int,
+    channel_prob: float,
+    num_captured: int,
+    rng: np.random.Generator,
+) -> Tuple[bool, bool, float]:
+    """One deployment + attack → (resilient, plain-connected, comp. frac)."""
+    scheme = QCompositeScheme(key_ring_size, pool_size, q)
+    network = SecureWSN(num_nodes, scheme, OnOffChannel(channel_prob), seed=rng)
+    outcome = evaluate_resilience(network, num_captured, seed=rng)
+    return (
+        outcome.resiliently_connected,
+        outcome.connected_ignoring_compromise,
+        outcome.compromise_fraction,
+    )
+
+
+def run_resilience(
+    trials: Optional[int] = None,
+    qs: Sequence[int] = (1, 2),
+    captured_grid: Sequence[int] = (0, 20, 60, 120),
+    num_nodes: int = 300,
+    design_nodes: int = 300,
+    pool_size: int = 5000,
+    channel_prob: float = 0.9,
+    seed: int = 20170614,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Sweep (q, captured) and estimate both connectivity notions.
+
+    Ring sizes are dimensioned per q for 0.95 connectivity of the
+    *unattacked* network, so the captured=0 rows calibrate the columns.
+    """
+    from repro.core.design import minimal_key_ring_size
+
+    trials = trials if trials is not None else trials_from_env(30, full=150)
+    ring_sizes = {
+        q: minimal_key_ring_size(
+            design_nodes, pool_size, q, channel_prob, target_probability=0.95
+        )
+        for q in qs
+    }
+    points: List[CurvePoint] = []
+    for q in qs:
+        ring = ring_sizes[q]
+        for captured in captured_grid:
+            outcomes = run_trials(
+                functools.partial(
+                    resilience_trial,
+                    num_nodes,
+                    ring,
+                    pool_size,
+                    q,
+                    channel_prob,
+                    captured,
+                ),
+                trials,
+                seed=seed + 31 * q + captured,
+                workers=workers,
+            )
+            resilient_hits = sum(1 for r, _, _ in outcomes if r)
+            plain_hits = sum(1 for _, c, _ in outcomes if c)
+            mean_comp = float(np.mean([f for _, _, f in outcomes]))
+            points.append(
+                CurvePoint(
+                    point={
+                        "q": q,
+                        "K": ring,
+                        "captured": captured,
+                        "plain_connected": plain_hits / trials,
+                        "mean_compromise_fraction": mean_comp,
+                    },
+                    estimate=BernoulliEstimate.from_counts(resilient_hits, trials),
+                    prediction=None,
+                )
+            )
+    return ExperimentResult(
+        name="resilience",
+        config={
+            "trials": trials,
+            "qs": list(qs),
+            "ring_sizes": {str(q): ring_sizes[q] for q in qs},
+            "captured_grid": list(captured_grid),
+            "num_nodes": num_nodes,
+            "pool_size": pool_size,
+            "channel_prob": channel_prob,
+            "seed": seed,
+        },
+        points=points,
+    )
+
+
+def render_resilience(result: ExperimentResult) -> str:
+    rows = []
+    for pt in result.points:
+        rows.append(
+            [
+                int(pt.point["q"]),
+                int(pt.point["K"]),
+                int(pt.point["captured"]),
+                pt.estimate.estimate,
+                pt.point["plain_connected"],
+                pt.point["mean_compromise_fraction"],
+            ]
+        )
+    return format_table(
+        [
+            "q",
+            "K",
+            "captured",
+            "P[resiliently conn.]",
+            "P[conn., untrusted links ok]",
+            "mean comp. frac",
+        ],
+        rows,
+        title=(
+            "Resilient connectivity under node capture "
+            f"(n={result.config['num_nodes']}, P={result.config['pool_size']}, "
+            f"p={result.config['channel_prob']}, trials={result.config['trials']})"
+        ),
+    )

@@ -1,0 +1,104 @@
+"""The zero–one law (Eqs. 8b–8c): sharpening with ``n``.
+
+Theorem 1's zero–one clauses say the k-connectivity probability tends
+to 0 for ``α_n → -∞`` and 1 for ``α_n → +∞``.  At finite ``n`` the law
+manifests as a transition window around α = 0 that *narrows as n
+grows*: this experiment pins α at symmetric offsets ±α₀ and shows the
+empirical probabilities marching toward 0 and 1 as ``n`` increases,
+alongside the n-independent limit values ``exp(-e^{∓α₀})``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.scaling import channel_prob_for_alpha
+from repro.params import QCompositeParams
+from repro.probability.limits import limit_probability
+from repro.simulation.engine import trials_from_env
+from repro.simulation.results import CurvePoint, ExperimentResult
+from repro.simulation.runners import estimate_connectivity
+from repro.utils.tables import format_table
+
+__all__ = ["run_zero_one", "render_zero_one"]
+
+
+def run_zero_one(
+    trials: Optional[int] = None,
+    num_nodes_grid: Sequence[int] = (200, 500, 1000, 2000),
+    alpha_offsets: Sequence[float] = (-3.0, -1.5, 1.5, 3.0),
+    pool_size: int = 10000,
+    q: int = 2,
+    seed: int = 20170607,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Estimate P[connected] at fixed ±α across growing ``n``.
+
+    The ring size is chosen per ``n`` as the minimal ``K`` whose key
+    graph clears the *largest* α in the grid at ``p = 1`` (plus margin),
+    so the channel-probability solve stays within (0, 1] at every point.
+    """
+    from repro.core.design import minimal_key_ring_size
+    from repro.probability.limits import limit_probability
+
+    trials = trials if trials is not None else trials_from_env(80, full=500)
+    points: List[CurvePoint] = []
+    top_target = limit_probability(max(alpha_offsets) + 0.25, 1)
+    for n in num_nodes_grid:
+        ring = minimal_key_ring_size(
+            n, pool_size, q, 1.0, k=1, target_probability=min(top_target, 0.999)
+        )
+        for alpha in alpha_offsets:
+            p = channel_prob_for_alpha(n, ring, pool_size, q, alpha, k=1)
+            params = QCompositeParams(
+                num_nodes=n,
+                key_ring_size=ring,
+                pool_size=pool_size,
+                overlap=q,
+                channel_prob=p,
+            )
+            estimate = estimate_connectivity(
+                params, trials, seed=seed + n + int(alpha * 100), workers=workers
+            )
+            points.append(
+                CurvePoint(
+                    point={"n": n, "alpha": alpha, "K": ring, "p": p},
+                    estimate=estimate,
+                    prediction=limit_probability(alpha, 1),
+                )
+            )
+    return ExperimentResult(
+        name="zero_one",
+        config={
+            "trials": trials,
+            "num_nodes_grid": list(num_nodes_grid),
+            "alpha_offsets": list(alpha_offsets),
+            "pool_size": pool_size,
+            "q": q,
+            "seed": seed,
+        },
+        points=points,
+    )
+
+
+def render_zero_one(result: ExperimentResult) -> str:
+    rows = []
+    for pt in result.points:
+        rows.append(
+            [
+                int(pt.point["n"]),
+                pt.point["alpha"],
+                int(pt.point["K"]),
+                pt.point["p"],
+                pt.estimate.estimate,
+                pt.prediction,
+            ]
+        )
+    return format_table(
+        ["n", "alpha", "K", "p", "empirical", "limit"],
+        rows,
+        title=(
+            f"Zero-one law sharpening (q={result.config['q']}, "
+            f"P={result.config['pool_size']}, trials={result.config['trials']})"
+        ),
+    )

@@ -1,0 +1,77 @@
+"""Articulation points and biconnectivity (Tarjan, iterative).
+
+``k = 2`` connectivity checks run inside Monte Carlo loops, so the
+classical recursive Hopcroft–Tarjan DFS is implemented iteratively to
+avoid Python's recursion limit at ``n = 1000+`` and to keep constant
+factors low.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+
+__all__ = ["articulation_points", "is_biconnected"]
+
+
+def articulation_points(graph: Graph) -> Set[int]:
+    """Return the set of articulation (cut) vertices of the graph.
+
+    Works per connected component; an articulation point of any
+    component is reported.  Runs in ``O(n + m)``.
+    """
+    n = graph.num_nodes
+    disc = [-1] * n  # discovery times; -1 = unvisited
+    low = [0] * n
+    parent = [-1] * n
+    child_count = [0] * n
+    result: Set[int] = set()
+    timer = 0
+
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        # Iterative DFS with explicit neighbor iterators.
+        stack = [(root, iter(graph.adjacency(root)))]
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            u, it = stack[-1]
+            advanced = False
+            for v in it:
+                if disc[v] == -1:
+                    parent[v] = u
+                    child_count[u] += 1
+                    disc[v] = low[v] = timer
+                    timer += 1
+                    stack.append((v, iter(graph.adjacency(v))))
+                    advanced = True
+                    break
+                if v != parent[u]:
+                    low[u] = min(low[u], disc[v])
+            if not advanced:
+                stack.pop()
+                p = parent[u]
+                if p != -1:
+                    low[p] = min(low[p], low[u])
+                    if p != root and low[u] >= disc[p]:
+                        result.add(p)
+        if child_count[root] >= 2:
+            result.add(root)
+    return result
+
+
+def is_biconnected(graph: Graph) -> bool:
+    """Return whether the graph is 2-connected (``κ(G) >= 2``).
+
+    Follows the standard convention requiring ``n >= 3``: ``K_2`` is
+    1-connected only.  Equivalent to "connected and no articulation
+    points" for ``n >= 3``.
+    """
+    if graph.num_nodes < 3:
+        return False
+    if not is_connected(graph):
+        return False
+    return not articulation_points(graph)

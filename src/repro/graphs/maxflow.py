@@ -1,0 +1,150 @@
+"""Dinic maximum flow on small integer-capacity digraphs.
+
+Used by :mod:`repro.graphs.vertex_connectivity` to compute local vertex
+connectivity on a node-split digraph with unit capacities.  The
+implementation supports an optional *flow limit*: k-connectivity
+decisions only need to know whether ``maxflow >= k``, so augmentation
+stops as soon as the limit is reached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.exceptions import GraphError
+
+__all__ = ["FlowNetwork"]
+
+_INF = 1 << 60
+
+
+class FlowNetwork:
+    """Residual-arc flow network with Dinic's algorithm.
+
+    Arcs are stored in the paired representation: arc ``a`` and its
+    residual twin ``a ^ 1`` sit at consecutive indices, so the reverse
+    of arc ``a`` is always ``a ^ 1``.
+    """
+
+    __slots__ = ("_n", "_head", "_to", "_cap", "_next")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise GraphError(f"num_nodes must be >= 1, got {num_nodes}")
+        self._n = num_nodes
+        self._head: List[int] = [-1] * num_nodes  # per-node arc-list head
+        self._to: List[int] = []
+        self._cap: List[int] = []
+        self._next: List[int] = []
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    def add_arc(self, u: int, v: int, capacity: int) -> int:
+        """Add directed arc ``u -> v``; return the arc index.
+
+        The residual reverse arc (capacity 0) is created automatically.
+        """
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphError(f"arc ({u}, {v}) outside [0, {self._n})")
+        if capacity < 0:
+            raise GraphError(f"capacity must be >= 0, got {capacity}")
+        idx = len(self._to)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._next.append(self._head[u])
+        self._head[u] = idx
+        self._to.append(u)
+        self._cap.append(0)
+        self._next.append(self._head[v])
+        self._head[v] = idx + 1
+        return idx
+
+    def _bfs_levels(self, source: int, sink: int) -> Optional[List[int]]:
+        levels = [-1] * self._n
+        levels[source] = 0
+        queue = deque([source])
+        to, cap, nxt, head = self._to, self._cap, self._next, self._head
+        while queue:
+            u = queue.popleft()
+            a = head[u]
+            while a != -1:
+                v = to[a]
+                if cap[a] > 0 and levels[v] == -1:
+                    levels[v] = levels[u] + 1
+                    queue.append(v)
+                a = nxt[a]
+        return levels if levels[sink] != -1 else None
+
+    def _blocking_flow(
+        self, source: int, sink: int, levels: List[int], limit: int
+    ) -> int:
+        """Send up to *limit* units of blocking flow along level arcs.
+
+        Iterative DFS; ``iters[u]`` is the next arc to try from ``u``
+        (the standard "current arc" optimization).
+        """
+        to, cap, nxt = self._to, self._cap, self._next
+        iters = list(self._head)
+        total = 0
+        path: List[int] = []  # arc indices from source to current node
+        u = source
+        while True:
+            if u == sink:
+                bottleneck = limit - total
+                for a in path:
+                    if cap[a] < bottleneck:
+                        bottleneck = cap[a]
+                for a in path:
+                    cap[a] -= bottleneck
+                    cap[a ^ 1] += bottleneck
+                total += bottleneck
+                if total >= limit:
+                    return total
+                # Restart from the first saturated arc on the path.
+                cut = 0
+                while cut < len(path) and cap[path[cut]] > 0:
+                    cut += 1
+                del path[cut:]
+                u = source if not path else to[path[-1]]
+                continue
+            # Advance along an admissible arc, if any.
+            a = iters[u]
+            while a != -1 and not (cap[a] > 0 and levels[to[a]] == levels[u] + 1):
+                a = nxt[a]
+            iters[u] = a
+            if a != -1:
+                path.append(a)
+                u = to[a]
+            else:
+                # Dead end: prune u from the level graph and back up.
+                levels[u] = -1
+                if not path:
+                    return total
+                back = path.pop()
+                u = to[back ^ 1]
+
+    def max_flow(self, source: int, sink: int, limit: int = _INF) -> int:
+        """Compute the max flow from *source* to *sink*, stopping at *limit*.
+
+        Mutates residual capacities; build a fresh network per query (the
+        vertex-connectivity layer always does).
+        """
+        if not (0 <= source < self._n and 0 <= sink < self._n):
+            raise GraphError("source/sink outside network")
+        if source == sink:
+            raise GraphError("source and sink must differ")
+        if limit <= 0:
+            return 0
+        flow = 0
+        while flow < limit:
+            levels = self._bfs_levels(source, sink)
+            if levels is None:
+                break
+            pushed = self._blocking_flow(source, sink, levels, limit - flow)
+            if pushed == 0:
+                break
+            flow += pushed
+        return flow

@@ -1,0 +1,111 @@
+"""Model parameter containers.
+
+The paper's model is parameterized by the tuple ``(n, K_n, P_n, q, p_n)``:
+number of sensors, key ring size, key pool size, required key overlap,
+and channel-on probability.  :class:`QCompositeParams` bundles the tuple,
+validates it once at construction, and exposes the derived edge
+probabilities ``s_{n,q}`` (key graph) and ``t_{n,q}`` (intersection
+graph) so experiment code never recomputes them inconsistently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import (
+    check_key_parameters,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = ["QCompositeParams"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QCompositeParams:
+    """Parameters of the WSN model ``G_{n,q}(n, K, P, p)``.
+
+    Attributes
+    ----------
+    num_nodes:
+        ``n`` — number of sensors.
+    key_ring_size:
+        ``K_n`` — number of distinct keys preloaded in each sensor.
+    pool_size:
+        ``P_n`` — size of the key pool.
+    overlap:
+        ``q`` — minimum number of shared keys required for a secure link.
+    channel_prob:
+        ``p_n`` — probability that a node-to-node channel is *on*
+        (``0 < p <= 1``).
+    """
+
+    num_nodes: int
+    key_ring_size: int
+    pool_size: int
+    overlap: int = 1
+    channel_prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "num_nodes", check_positive_int(self.num_nodes, "num_nodes")
+        )
+        check_key_parameters(self.key_ring_size, self.pool_size, self.overlap)
+        object.__setattr__(
+            self,
+            "channel_prob",
+            check_probability(self.channel_prob, "channel_prob", allow_zero=False),
+        )
+        if self.num_nodes < 2:
+            raise ParameterError(
+                f"num_nodes must be >= 2 for a meaningful network, got {self.num_nodes}"
+            )
+
+    # -- derived edge probabilities ------------------------------------
+
+    def key_edge_probability(self) -> float:
+        """``s_{n,q}``: probability two nodes share at least ``q`` keys (Eq. 3)."""
+        from repro.probability.hypergeometric import overlap_survival
+
+        return overlap_survival(self.key_ring_size, self.pool_size, self.overlap)
+
+    def edge_probability(self) -> float:
+        """``t_{n,q} = p * s_{n,q}``: edge probability of ``G_{n,q}`` (Eq. 5)."""
+        return self.channel_prob * self.key_edge_probability()
+
+    def alpha(self, k: int = 1) -> float:
+        """Deviation ``α_n`` from the k-connectivity critical scaling (Eq. 6).
+
+        Solves ``t_{n,q} = (ln n + (k-1) ln ln n + α_n) / n`` for ``α_n``.
+        """
+        k = check_positive_int(k, "k")
+        n = self.num_nodes
+        if n <= 2 and k > 1:
+            raise ParameterError("alpha with k > 1 requires num_nodes > 2 (ln ln n)")
+        return n * self.edge_probability() - math.log(n) - (k - 1) * math.log(
+            math.log(n)
+        )
+
+    def mean_degree(self) -> float:
+        """Expected degree ``(n - 1) * t_{n,q}`` of a node in ``G_{n,q}``."""
+        return (self.num_nodes - 1) * self.edge_probability()
+
+    # -- convenience ----------------------------------------------------
+
+    def with_updates(self, **changes: object) -> "QCompositeParams":
+        """Return a copy with the given fields replaced (validated anew)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON serialization of experiment results."""
+        return dataclasses.asdict(self)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in harness headers."""
+        return (
+            f"n={self.num_nodes}, K={self.key_ring_size}, P={self.pool_size}, "
+            f"q={self.overlap}, p={self.channel_prob}"
+        )

@@ -1,0 +1,75 @@
+"""Probability substrate: overlap distribution, limit laws, couplings."""
+
+from repro.probability.asymptotics import (
+    asymptotic_relative_error,
+    asymptotics_report,
+    edge_probability_asymptotic,
+    key_ring_size_for_edge_probability,
+    log_edge_probability_asymptotic,
+)
+from repro.probability.couplings import (
+    binomial_key_probability,
+    binomial_ring_tail_probability,
+    coupled_er_probability,
+    coupled_er_probability_full,
+    coupling_report,
+    coupling_success_probability,
+)
+from repro.probability.hypergeometric import (
+    log_overlap_pmf,
+    log_overlap_survival,
+    no_overlap_probability,
+    overlap_cdf,
+    overlap_mean,
+    overlap_pmf,
+    overlap_pmf_vector,
+    overlap_survival,
+)
+from repro.probability.limits import (
+    alpha_from_edge_probability,
+    critical_edge_probability,
+    edge_probability_from_alpha,
+    limit_probability,
+    limit_probability_inverse,
+)
+from repro.probability.poisson import (
+    poisson_cdf,
+    poisson_log_pmf,
+    poisson_pmf,
+    poisson_pmf_vector,
+    poisson_total_variation,
+    total_variation_from_counts,
+)
+
+__all__ = [
+    "asymptotic_relative_error",
+    "asymptotics_report",
+    "edge_probability_asymptotic",
+    "key_ring_size_for_edge_probability",
+    "log_edge_probability_asymptotic",
+    "binomial_key_probability",
+    "binomial_ring_tail_probability",
+    "coupled_er_probability",
+    "coupled_er_probability_full",
+    "coupling_report",
+    "coupling_success_probability",
+    "log_overlap_pmf",
+    "log_overlap_survival",
+    "no_overlap_probability",
+    "overlap_cdf",
+    "overlap_mean",
+    "overlap_pmf",
+    "overlap_pmf_vector",
+    "overlap_survival",
+    "alpha_from_edge_probability",
+    "critical_edge_probability",
+    "edge_probability_from_alpha",
+    "limit_probability",
+    "limit_probability_inverse",
+    "poisson_cdf",
+    "poisson_log_pmf",
+    "poisson_pmf",
+    "poisson_pmf_vector",
+    "poisson_total_variation",
+    "total_variation_from_counts",
+]

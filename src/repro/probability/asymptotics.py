@@ -1,0 +1,110 @@
+"""Asymptotic approximations of the edge probabilities (Lemma 2).
+
+Lemma 2 of the paper states that when ``K_n = ω(1)`` and
+``K_n²/P_n = o(1)``,
+
+    s_{n,q}  ~  (1/q!) (K_n² / P_n)^q
+
+and, under the stronger conditions ``K_n = ω(ln n)`` and
+``K_n²/P_n = o(1/ln n)``, the relative error is ``o(1/ln n)``.
+
+This module provides the approximation itself, its inverse (solve for
+``K`` given a target ``s``), and a finite-``n`` diagnostic that reports
+the exact relative error so users can see how fast the asymptotics kick
+in — the quantity that justifies using the asymptotic form inside the
+design guidelines of :mod:`repro.core.design`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.exceptions import ParameterError
+from repro.probability.hypergeometric import overlap_survival
+from repro.utils.logmath import log_factorial
+from repro.utils.validation import (
+    check_key_parameters,
+    check_positive_float,
+    check_positive_int,
+)
+
+__all__ = [
+    "edge_probability_asymptotic",
+    "log_edge_probability_asymptotic",
+    "key_ring_size_for_edge_probability",
+    "asymptotic_relative_error",
+    "asymptotics_report",
+]
+
+
+def log_edge_probability_asymptotic(
+    key_ring_size: float, pool_size: float, q: int
+) -> float:
+    """Return ``ln[(1/q!) (K²/P)^q]`` for possibly non-integer ``K``.
+
+    Accepting real ``K`` matters: the design solvers invert this formula
+    continuously before rounding to an integer ring size.
+    """
+    key_ring_size = check_positive_float(key_ring_size, "key_ring_size")
+    pool_size = check_positive_float(pool_size, "pool_size")
+    q = check_positive_int(q, "q")
+    ratio = key_ring_size * key_ring_size / pool_size
+    return q * math.log(ratio) - log_factorial(q)
+
+
+def edge_probability_asymptotic(
+    key_ring_size: float, pool_size: float, q: int
+) -> float:
+    """Return the Lemma-2 approximation ``(1/q!) (K²/P)^q`` of ``s_{n,q}``."""
+    return math.exp(
+        log_edge_probability_asymptotic(key_ring_size, pool_size, q)
+    )
+
+
+def key_ring_size_for_edge_probability(
+    target: float, pool_size: float, q: int
+) -> float:
+    """Invert Lemma 2: the real ``K`` with ``(1/q!)(K²/P)^q = target``.
+
+    Returns the continuous solution ``K = sqrt(P (q! target)^{1/q})``;
+    callers round up to an integer ring size.  Raises
+    :class:`ParameterError` when *target* is not in ``(0, 1)``.
+    """
+    target = check_positive_float(target, "target")
+    if target >= 1.0:
+        raise ParameterError(f"target edge probability must be < 1, got {target}")
+    pool_size = check_positive_float(pool_size, "pool_size")
+    q = check_positive_int(q, "q")
+    ratio = (math.exp(log_factorial(q)) * target) ** (1.0 / q)
+    return math.sqrt(pool_size * ratio)
+
+
+def asymptotic_relative_error(key_ring_size: int, pool_size: int, q: int) -> float:
+    """Return ``approx/exact - 1`` — the signed relative error of Lemma 2.
+
+    Positive values mean the asymptotic form overestimates ``s_{n,q}``.
+    """
+    check_key_parameters(key_ring_size, pool_size, q)
+    exact = overlap_survival(key_ring_size, pool_size, q)
+    if exact == 0.0:
+        raise ParameterError(
+            "exact edge probability underflows to 0; relative error undefined"
+        )
+    approx = edge_probability_asymptotic(key_ring_size, pool_size, q)
+    return approx / exact - 1.0
+
+
+def asymptotics_report(key_ring_size: int, pool_size: int, q: int) -> Dict[str, float]:
+    """Return exact vs asymptotic ``s_{n,q}`` and their relative error.
+
+    Convenience bundle used by the EXPERIMENTS harness and examples.
+    """
+    exact = overlap_survival(key_ring_size, pool_size, q)
+    approx = edge_probability_asymptotic(key_ring_size, pool_size, q)
+    return {
+        "exact": exact,
+        "asymptotic": approx,
+        "relative_error": (approx / exact - 1.0) if exact > 0 else float("inf"),
+        "ratio_K2_over_P": key_ring_size * key_ring_size / pool_size,
+    }

@@ -1,0 +1,154 @@
+"""Coupling parameter maps from the proof chain (Lemmas 3–6).
+
+The lower bound of Theorem 1 is proved by sandwiching the WSN graph::
+
+    G_q(n, K, P)  ⊒  H_q(n, x, P)  ⊒  G(n, y)        (Lemmas 5, 6)
+    G_{n,q} = G_q ∩ G(n, p)  ⊒  G(n, z),  z = y p    (Lemma 3)
+
+with the explicit parameter choices
+
+    x_n = (K_n / P_n) (1 - sqrt(3 ln n / K_n))        (Eq. 66)
+    y_n = ((P_n x_n²)^q / q!) (1 - o(1/ln n))         (Eq. 72)
+
+This module computes those parameters and the finite-``n`` probability
+that the *ring-size coupling* underlying Lemma 5 succeeds: a binomial
+graph ``H_q(n, x, P)`` can be embedded inside ``G_q(n, K, P)`` whenever
+every node's binomial key count ``Bin(P, x)`` is at most ``K`` — the
+event whose probability must tend to 1 for the coupling to hold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.exceptions import ParameterError
+from repro.utils.logmath import log_binomial, logsumexp
+from repro.utils.validation import (
+    check_key_parameters,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "binomial_key_probability",
+    "coupled_er_probability",
+    "coupled_er_probability_full",
+    "binomial_ring_tail_probability",
+    "coupling_success_probability",
+    "coupling_report",
+]
+
+
+def binomial_key_probability(num_nodes: int, key_ring_size: int, pool_size: int) -> float:
+    """Return ``x_n`` of Eq. (66): the per-key inclusion probability.
+
+    Requires ``K > 3 ln n`` so the square root is real and ``x_n > 0``;
+    otherwise the coupling construction is undefined at this ``n`` and a
+    :class:`ParameterError` is raised.
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    check_key_parameters(key_ring_size, pool_size, 1)
+    if num_nodes < 2:
+        raise ParameterError("num_nodes must be >= 2")
+    threshold = 3.0 * math.log(num_nodes)
+    if key_ring_size <= threshold:
+        raise ParameterError(
+            f"Eq. (66) requires K > 3 ln n = {threshold:.3f}, got K={key_ring_size}"
+        )
+    return (key_ring_size / pool_size) * (
+        1.0 - math.sqrt(threshold / key_ring_size)
+    )
+
+
+def coupled_er_probability(x: float, pool_size: int, q: int) -> float:
+    """Return the leading term of ``y_n`` in Eq. (72): ``(P x²)^q / q!``.
+
+    The paper's ``y_n`` carries a ``1 - o(1/ln n)`` correction; the
+    leading term is the quantity the experiments compare against.
+    """
+    x = check_probability(x, "x")
+    pool_size = check_positive_int(pool_size, "pool_size")
+    q = check_positive_int(q, "q")
+    base = pool_size * x * x
+    return base**q / math.factorial(q)
+
+
+def coupled_er_probability_full(
+    num_nodes: int, key_ring_size: int, pool_size: int, q: int, channel_prob: float
+) -> float:
+    """Return ``z_n = y_n p_n`` — the ER edge probability of Lemma 3 (Eq. 58).
+
+    Composes Eqs. (66) and (72) with the on/off channel probability.
+    """
+    channel_prob = check_probability(channel_prob, "channel_prob", allow_zero=False)
+    x = binomial_key_probability(num_nodes, key_ring_size, pool_size)
+    return coupled_er_probability(x, pool_size, q) * channel_prob
+
+
+def binomial_ring_tail_probability(pool_size: int, x: float, key_ring_size: int) -> float:
+    """Return ``P[Bin(P, x) > K]`` — one node's coupling-failure probability.
+
+    Computed as the complement of the binomial CDF in log space.  For the
+    coupling of Lemma 5 to succeed for a whole graph, *no* node may draw
+    more than ``K`` keys.
+    """
+    pool_size = check_positive_int(pool_size, "pool_size")
+    x = check_probability(x, "x")
+    key_ring_size = check_positive_int(key_ring_size, "key_ring_size")
+    if key_ring_size >= pool_size:
+        return 0.0
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0 if key_ring_size < pool_size else 0.0
+    log_x = math.log(x)
+    log_1mx = math.log1p(-x)
+    # Tail sum over j = K+1 .. P is potentially long; sum the shorter side.
+    if key_ring_size + 1 > pool_size // 2:
+        terms = [
+            log_binomial(pool_size, j) + j * log_x + (pool_size - j) * log_1mx
+            for j in range(key_ring_size + 1, pool_size + 1)
+        ]
+        return math.exp(logsumexp(terms)) if terms else 0.0
+    head = [
+        log_binomial(pool_size, j) + j * log_x + (pool_size - j) * log_1mx
+        for j in range(0, key_ring_size + 1)
+    ]
+    cdf = math.exp(logsumexp(head))
+    return max(0.0, 1.0 - cdf)
+
+
+def coupling_success_probability(
+    num_nodes: int, key_ring_size: int, pool_size: int
+) -> float:
+    """Return ``P[all n binomial ring sizes <= K]`` under Eq. (66)'s ``x_n``.
+
+    This is the probability that the natural monotone coupling between
+    ``H_q(n, x_n, P)`` and ``G_q(n, K, P)`` succeeds; Lemma 5 asserts it
+    is ``1 - o(1)``.  The experiment harness plots it against ``n``.
+    """
+    x = binomial_key_probability(num_nodes, key_ring_size, pool_size)
+    single_fail = binomial_ring_tail_probability(pool_size, x, key_ring_size)
+    if single_fail >= 1.0:
+        return 0.0
+    return math.exp(num_nodes * math.log1p(-single_fail))
+
+
+def coupling_report(
+    num_nodes: int, key_ring_size: int, pool_size: int, q: int, channel_prob: float
+) -> Dict[str, float]:
+    """Bundle of all coupling quantities for one parameter point."""
+    x = binomial_key_probability(num_nodes, key_ring_size, pool_size)
+    y = coupled_er_probability(x, pool_size, q)
+    return {
+        "x": x,
+        "y": y,
+        "z": y * channel_prob,
+        "single_node_failure": binomial_ring_tail_probability(
+            pool_size, x, key_ring_size
+        ),
+        "coupling_success": coupling_success_probability(
+            num_nodes, key_ring_size, pool_size
+        ),
+    }

@@ -1,0 +1,121 @@
+"""The k-connectivity limit law and the α ↔ edge-probability transforms.
+
+Theorem 1 (and Lemma 7 for Erdős–Rényi graphs, Lemma 8 for minimum
+degree) all share one limit law: with the deviation ``α_n`` defined by
+
+    t_n = (ln n + (k - 1) ln ln n + α_n) / n                      (Eq. 6)
+
+the probability of the property converges to
+
+    F(α*, k) = exp( - e^{-α*} / (k - 1)! )                        (Eq. 7)
+
+This module implements the law, the deviation transform and its inverse,
+and the critical edge probability / thresholds derived from them.  The
+double-exponential ``F`` is the Gumbel distribution function when
+``k = 1`` — a fact used by property tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+from repro.utils.logmath import log_factorial
+from repro.utils.validation import (
+    check_finite_float,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "limit_probability",
+    "limit_probability_inverse",
+    "alpha_from_edge_probability",
+    "edge_probability_from_alpha",
+    "critical_edge_probability",
+]
+
+
+def limit_probability(alpha: float, k: int = 1) -> float:
+    """Return ``exp(-e^{-alpha} / (k-1)!)`` — the Theorem 1 limit (Eq. 7).
+
+    ``alpha`` may be ``±inf``: ``+inf`` maps to probability 1 and
+    ``-inf`` to 0, matching the zero–one law (Eqs. 8b–8c).
+    """
+    k = check_positive_int(k, "k")
+    if math.isnan(alpha):
+        raise ParameterError("alpha must not be NaN")
+    if alpha == float("inf"):
+        return 1.0
+    if alpha == float("-inf"):
+        return 0.0
+    log_rate = -alpha - log_factorial(k - 1)
+    # Guard exp overflow for very negative alpha: rate -> inf, prob -> 0.
+    if log_rate > 700.0:
+        return 0.0
+    return math.exp(-math.exp(log_rate))
+
+
+def limit_probability_inverse(prob: float, k: int = 1) -> float:
+    """Return the ``alpha`` with ``limit_probability(alpha, k) = prob``.
+
+    Inverse of Eq. (7): ``p = exp(-e^{-α}/(k-1)!)`` gives
+    ``α = -ln(-ln p) - ln (k-1)!``.  The endpoints map to ``±inf``.
+    This is the primitive behind "design for a target k-connectivity
+    probability".
+    """
+    k = check_positive_int(k, "k")
+    prob = check_probability(prob, "prob")
+    if prob == 0.0:
+        return float("-inf")
+    if prob == 1.0:
+        return float("inf")
+    return -math.log(-math.log(prob)) - log_factorial(k - 1)
+
+
+def alpha_from_edge_probability(edge_prob: float, num_nodes: int, k: int = 1) -> float:
+    """Solve Eq. (6) for ``α_n`` given the edge probability ``t_n``.
+
+    ``α_n = n t_n - ln n - (k-1) ln ln n``.
+    """
+    edge_prob = check_probability(edge_prob, "edge_prob")
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    k = check_positive_int(k, "k")
+    if num_nodes <= 2 and k > 1:
+        raise ParameterError("k > 1 requires num_nodes > 2 for ln ln n")
+    n = float(num_nodes)
+    extra = (k - 1) * math.log(math.log(n)) if k > 1 else 0.0
+    return n * edge_prob - math.log(n) - extra
+
+
+def edge_probability_from_alpha(alpha: float, num_nodes: int, k: int = 1) -> float:
+    """Solve Eq. (6) for ``t_n`` given the deviation ``α_n``.
+
+    ``t_n = (ln n + (k-1) ln ln n + α) / n``.  Raises if the resulting
+    value is not a probability — that signals an infeasible design point
+    (e.g. asking for huge ``α`` at small ``n``).
+    """
+    alpha = check_finite_float(alpha, "alpha")
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    k = check_positive_int(k, "k")
+    if num_nodes <= 2 and k > 1:
+        raise ParameterError("k > 1 requires num_nodes > 2 for ln ln n")
+    n = float(num_nodes)
+    extra = (k - 1) * math.log(math.log(n)) if k > 1 else 0.0
+    t = (math.log(n) + extra + alpha) / n
+    if not 0.0 <= t <= 1.0:
+        raise ParameterError(
+            f"alpha={alpha} at n={num_nodes}, k={k} implies edge probability "
+            f"{t:.6g} outside [0, 1]"
+        )
+    return t
+
+
+def critical_edge_probability(num_nodes: int, k: int = 1) -> float:
+    """Return the critical scaling ``(ln n + (k-1) ln ln n) / n`` (α = 0).
+
+    Theorem 1 identifies this as the exact k-connectivity threshold for
+    ``G_{n,q}``; for ``k = 1`` it reduces to the classical ``ln n / n``
+    used by the paper's Eq. (9) design rule.
+    """
+    return edge_probability_from_alpha(0.0, num_nodes, k)

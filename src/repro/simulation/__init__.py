@@ -1,0 +1,50 @@
+"""Monte Carlo simulation: engine, trial protocols, runners, results."""
+
+from repro.simulation.engine import default_workers, run_trials, trials_from_env
+from repro.simulation.estimators import BernoulliEstimate, wilson_interval
+from repro.simulation.results import (
+    CurvePoint,
+    ExperimentResult,
+    load_result,
+    save_result,
+)
+from repro.simulation.runners import (
+    estimate_agreement,
+    estimate_connectivity,
+    estimate_k_connectivity,
+    estimate_min_degree,
+    sample_degree_counts,
+)
+from repro.simulation.trials import (
+    connectivity_trial,
+    degree_count_trial,
+    isolated_count_trial,
+    k_connectivity_trial,
+    min_degree_trial,
+    min_degree_vs_kconn_trial,
+    sample_secure_edges,
+)
+
+__all__ = [
+    "default_workers",
+    "run_trials",
+    "trials_from_env",
+    "BernoulliEstimate",
+    "wilson_interval",
+    "CurvePoint",
+    "ExperimentResult",
+    "load_result",
+    "save_result",
+    "estimate_agreement",
+    "estimate_connectivity",
+    "estimate_k_connectivity",
+    "estimate_min_degree",
+    "sample_degree_counts",
+    "connectivity_trial",
+    "degree_count_trial",
+    "isolated_count_trial",
+    "k_connectivity_trial",
+    "min_degree_trial",
+    "min_degree_vs_kconn_trial",
+    "sample_secure_edges",
+]

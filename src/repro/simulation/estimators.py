@@ -1,0 +1,82 @@
+"""Estimators for Monte Carlo trial outcomes."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from repro.exceptions import SimulationError
+
+__all__ = ["BernoulliEstimate", "wilson_interval"]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> "tuple[float, float]":
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal (Wald) interval because Figure 1's curves
+    live at probabilities near 0 and 1, exactly where Wald collapses.
+    """
+    if trials <= 0:
+        raise SimulationError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise SimulationError(
+            f"successes={successes} outside [0, trials={trials}]"
+        )
+    if z <= 0:
+        raise SimulationError("z must be positive")
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    low = max(0.0, center - half)
+    high = min(1.0, center + half)
+    # Pin the degenerate endpoints exactly: rounding in center ± half can
+    # otherwise leave the observed proportion marginally outside.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return (low, high)
+
+
+@dataclasses.dataclass(frozen=True)
+class BernoulliEstimate:
+    """Empirical probability with a Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    estimate: float
+    ci_low: float
+    ci_high: float
+
+    @classmethod
+    def from_counts(
+        cls, successes: int, trials: int, z: float = 1.96
+    ) -> "BernoulliEstimate":
+        low, high = wilson_interval(successes, trials, z)
+        return cls(
+            successes=int(successes),
+            trials=int(trials),
+            estimate=successes / trials,
+            ci_low=low,
+            ci_high=high,
+        )
+
+    def stderr(self) -> float:
+        """Plain binomial standard error of the point estimate."""
+        p = self.estimate
+        return math.sqrt(max(p * (1 - p), 0.0) / self.trials)
+
+    def contains(self, prob: float) -> bool:
+        """Whether *prob* lies inside the confidence interval."""
+        return self.ci_low <= prob <= self.ci_high
+
+    def to_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)

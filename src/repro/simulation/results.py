@@ -1,0 +1,94 @@
+"""Result containers with JSON round-tripping.
+
+Experiments emit :class:`CurvePoint` rows (one per parameter point) that
+bundle the empirical estimate with the theory prediction evaluated at
+the same point, so EXPERIMENTS.md tables can be regenerated from saved
+JSON without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.simulation.estimators import BernoulliEstimate
+
+__all__ = ["CurvePoint", "ExperimentResult", "save_result", "load_result"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CurvePoint:
+    """One sweep point: varied parameters, estimate, and prediction."""
+
+    point: Dict[str, float]
+    estimate: BernoulliEstimate
+    prediction: Optional[float] = None
+
+    def gap(self) -> Optional[float]:
+        """Signed empirical-minus-predicted gap, if a prediction exists."""
+        if self.prediction is None:
+            return None
+        return self.estimate.estimate - self.prediction
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "point": dict(self.point),
+            "estimate": self.estimate.to_dict(),
+            "prediction": self.prediction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CurvePoint":
+        est = data["estimate"]
+        return cls(
+            point=dict(data["point"]),  # type: ignore[arg-type]
+            estimate=BernoulliEstimate(**est),  # type: ignore[arg-type]
+            prediction=data.get("prediction"),  # type: ignore[arg-type]
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """A named experiment run: configuration + all sweep points."""
+
+    name: str
+    config: Dict[str, object]
+    points: List[CurvePoint]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "config": dict(self.config),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            name=str(data["name"]),
+            config=dict(data["config"]),  # type: ignore[arg-type]
+            points=[CurvePoint.from_dict(p) for p in data["points"]],  # type: ignore[union-attr]
+        )
+
+    def max_abs_gap(self) -> float:
+        """Largest |empirical - predicted| over points with predictions."""
+        gaps = [abs(p.gap()) for p in self.points if p.gap() is not None]
+        return max(gaps) if gaps else float("nan")
+
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_result(result: ExperimentResult, path: PathLike) -> None:
+    """Write an experiment result as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    """Read an experiment result saved by :func:`save_result`."""
+    data = json.loads(pathlib.Path(path).read_text())
+    return ExperimentResult.from_dict(data)

@@ -1,0 +1,117 @@
+"""High-level estimation runners: trials → estimates.
+
+Thin, picklable glue between the trial protocols and the engine.  These
+are the functions experiment modules and benchmarks call.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.params import QCompositeParams
+from repro.simulation.engine import run_trials
+from repro.simulation.estimators import BernoulliEstimate
+from repro.simulation.trials import (
+    connectivity_trial,
+    degree_count_trial,
+    k_connectivity_trial,
+    min_degree_trial,
+    min_degree_vs_kconn_trial,
+)
+
+__all__ = [
+    "estimate_connectivity",
+    "estimate_k_connectivity",
+    "estimate_min_degree",
+    "sample_degree_counts",
+    "estimate_agreement",
+]
+
+
+def estimate_connectivity(
+    params: QCompositeParams,
+    trials: int,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> BernoulliEstimate:
+    """Empirical ``P[G_{n,q} connected]`` over *trials* deployments."""
+    outcomes = run_trials(
+        functools.partial(connectivity_trial, params), trials, seed, workers
+    )
+    return BernoulliEstimate.from_counts(sum(outcomes), trials)
+
+
+def estimate_k_connectivity(
+    params: QCompositeParams,
+    k: int,
+    trials: int,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> BernoulliEstimate:
+    """Empirical ``P[G_{n,q} k-connected]`` (exact per-trial decision)."""
+    if k == 1:
+        return estimate_connectivity(params, trials, seed, workers)
+    outcomes = run_trials(
+        functools.partial(k_connectivity_trial, params, k), trials, seed, workers
+    )
+    return BernoulliEstimate.from_counts(sum(outcomes), trials)
+
+
+def estimate_min_degree(
+    params: QCompositeParams,
+    k: int,
+    trials: int,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> BernoulliEstimate:
+    """Empirical ``P[min degree >= k]`` (Lemma 8's statistic)."""
+    outcomes = run_trials(
+        functools.partial(min_degree_trial, params, k), trials, seed, workers
+    )
+    return BernoulliEstimate.from_counts(sum(outcomes), trials)
+
+
+def sample_degree_counts(
+    params: QCompositeParams,
+    h: int,
+    trials: int,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> np.ndarray:
+    """Per-trial counts of degree-``h`` nodes (Lemma 9's statistic)."""
+    outcomes = run_trials(
+        functools.partial(degree_count_trial, params, h), trials, seed, workers
+    )
+    return np.array(outcomes, dtype=np.int64)
+
+
+def estimate_agreement(
+    params: QCompositeParams,
+    k: int,
+    trials: int,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Tuple[BernoulliEstimate, BernoulliEstimate, float]:
+    """Joint min-degree / k-connectivity estimates plus agreement rate.
+
+    Returns ``(min_degree_estimate, k_connectivity_estimate,
+    agreement)`` where *agreement* is the fraction of deployments in
+    which the two indicator outcomes coincide.
+    """
+    outcomes: List[Tuple[bool, bool]] = run_trials(
+        functools.partial(min_degree_vs_kconn_trial, params, k),
+        trials,
+        seed,
+        workers,
+    )
+    deg_hits = sum(1 for deg_ok, _ in outcomes if deg_ok)
+    conn_hits = sum(1 for _, conn_ok in outcomes if conn_ok)
+    agree = sum(1 for deg_ok, conn_ok in outcomes if deg_ok == conn_ok)
+    return (
+        BernoulliEstimate.from_counts(deg_hits, trials),
+        BernoulliEstimate.from_counts(conn_hits, trials),
+        agree / trials,
+    )

@@ -1,0 +1,116 @@
+"""Trial protocols: one random deployment → one measured outcome.
+
+These are the picklable building blocks the engine fans out.  They work
+on raw edge arrays (no :class:`SecureWSN` object construction) because
+Figure 1 alone needs ~180k deployments at paper fidelity.
+
+Every protocol samples the model *exactly* as Section II defines it:
+
+1. uniform ``K``-subset rings for all ``n`` nodes,
+2. key-graph candidate edges where rings share ``>= q`` keys,
+3. an independent Bernoulli(``p``) channel decision per candidate edge
+   (exactly equivalent to intersecting with a full ``G(n, p)`` — only
+   candidate edges can survive the intersection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.onoff import sample_onoff_mask
+from repro.graphs.graph import Graph
+from repro.graphs.properties import degrees_from_edges
+from repro.graphs.unionfind import is_connected_edges
+from repro.graphs.vertex_connectivity import is_k_connected
+from repro.keygraphs.rings import sample_uniform_rings
+from repro.keygraphs.uniform_graph import edges_from_rings
+from repro.params import QCompositeParams
+
+__all__ = [
+    "sample_secure_edges",
+    "connectivity_trial",
+    "k_connectivity_trial",
+    "min_degree_trial",
+    "degree_count_trial",
+    "min_degree_vs_kconn_trial",
+    "isolated_count_trial",
+]
+
+
+def sample_secure_edges(
+    params: QCompositeParams, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample one topology of ``G_{n,q}(n, K, P, p)``; return its edges."""
+    rings = sample_uniform_rings(
+        params.num_nodes, params.key_ring_size, params.pool_size, rng
+    )
+    key_edges = edges_from_rings(rings, params.overlap)
+    if params.channel_prob >= 1.0:
+        return key_edges
+    mask = sample_onoff_mask(key_edges.shape[0], params.channel_prob, rng)
+    return key_edges[mask]
+
+
+def connectivity_trial(params: QCompositeParams, rng: np.random.Generator) -> bool:
+    """One deployment → is it connected? (the Figure 1 trial)."""
+    edges = sample_secure_edges(params, rng)
+    return is_connected_edges(params.num_nodes, edges)
+
+
+def k_connectivity_trial(
+    params: QCompositeParams, k: int, rng: np.random.Generator
+) -> bool:
+    """One deployment → is it k-connected? (exact decision).
+
+    Short-circuits through the min-degree necessary condition before
+    invoking the flow-based decision, which keeps the expensive path
+    rare near the threshold.
+    """
+    edges = sample_secure_edges(params, rng)
+    if k == 1:
+        return is_connected_edges(params.num_nodes, edges)
+    if int(degrees_from_edges(params.num_nodes, edges).min()) < k:
+        return False
+    graph = Graph.from_edge_array(params.num_nodes, edges)
+    return is_k_connected(graph, k)
+
+
+def min_degree_trial(
+    params: QCompositeParams, k: int, rng: np.random.Generator
+) -> bool:
+    """One deployment → is the minimum degree at least k? (Lemma 8)."""
+    edges = sample_secure_edges(params, rng)
+    return int(degrees_from_edges(params.num_nodes, edges).min()) >= k
+
+
+def degree_count_trial(
+    params: QCompositeParams, h: int, rng: np.random.Generator
+) -> int:
+    """One deployment → number of nodes with degree exactly h (Lemma 9)."""
+    edges = sample_secure_edges(params, rng)
+    degs = degrees_from_edges(params.num_nodes, edges)
+    return int((degs == h).sum())
+
+
+def isolated_count_trial(params: QCompositeParams, rng: np.random.Generator) -> int:
+    """One deployment → number of isolated nodes (h = 0 special case)."""
+    return degree_count_trial(params, 0, rng)
+
+
+def min_degree_vs_kconn_trial(
+    params: QCompositeParams, k: int, rng: np.random.Generator
+) -> "tuple[bool, bool]":
+    """One deployment → (min degree >= k, k-connected) on the *same* sample.
+
+    Measuring both properties on one topology exposes how rarely they
+    disagree — the finite-``n`` face of the Lemma 8 / Theorem 1
+    equivalence.
+    """
+    edges = sample_secure_edges(params, rng)
+    deg_ok = int(degrees_from_edges(params.num_nodes, edges).min()) >= k
+    if not deg_ok:
+        return (False, False)  # min degree < k forbids k-connectivity
+    if k == 1:
+        return (True, is_connected_edges(params.num_nodes, edges))
+    graph = Graph.from_edge_array(params.num_nodes, edges)
+    return (True, is_k_connected(graph, k))

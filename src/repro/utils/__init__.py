@@ -1,0 +1,53 @@
+"""Shared numeric, RNG, and formatting utilities."""
+
+from repro.utils.logmath import (
+    log1mexp,
+    log_binomial,
+    log_binomial_array,
+    log_factorial,
+    log_falling_factorial,
+    logsumexp,
+    stable_sum,
+)
+from repro.utils.rng import (
+    RandomState,
+    as_generator,
+    spawn_generators,
+    spawn_seed_sequences,
+    trial_seed_sequence,
+)
+from repro.utils.tables import format_curve, format_kv_block, format_table
+from repro.utils.validation import (
+    check_finite_float,
+    check_in_range,
+    check_key_parameters,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "log1mexp",
+    "log_binomial",
+    "log_binomial_array",
+    "log_factorial",
+    "log_falling_factorial",
+    "logsumexp",
+    "stable_sum",
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "spawn_seed_sequences",
+    "trial_seed_sequence",
+    "format_curve",
+    "format_kv_block",
+    "format_table",
+    "check_finite_float",
+    "check_in_range",
+    "check_key_parameters",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,154 @@
+"""Log-space combinatorics and numerically stable helpers.
+
+The hypergeometric tail probability ``s(K, P, q)`` of the paper involves
+binomial coefficients like ``C(10000, 88)`` whose magnitudes overflow any
+floating-point type, so all combinatorial mass functions in
+:mod:`repro.probability` are computed in log space using the helpers
+defined here.  Everything is implemented on top of ``math.lgamma`` (and
+its vectorized numpy counterpart) — no external special-function library
+is required for correctness; :mod:`scipy` is only used in the test suite
+as an independent cross-check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "log_factorial",
+    "log_binomial",
+    "log_binomial_array",
+    "logsumexp",
+    "log1mexp",
+    "log_falling_factorial",
+    "stable_sum",
+]
+
+_NEG_INF = float("-inf")
+
+
+def log_factorial(n: int) -> float:
+    """Return ``ln(n!)`` for integer ``n >= 0``.
+
+    Uses ``math.lgamma`` which is exact to double precision for all
+    practically relevant ``n``.
+    """
+    if n < 0:
+        raise ValueError(f"log_factorial requires n >= 0, got {n}")
+    return math.lgamma(n + 1.0)
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Return ``ln C(n, k)``, with ``-inf`` when the coefficient is zero.
+
+    Out-of-range ``k`` (negative or larger than ``n``) yields ``-inf``
+    rather than raising: this matches the convention ``C(n, k) = 0`` and
+    lets tail sums be written without boundary special cases.
+    """
+    if n < 0:
+        raise ValueError(f"log_binomial requires n >= 0, got n={n}")
+    if k < 0 or k > n:
+        return _NEG_INF
+    return (
+        math.lgamma(n + 1.0) - math.lgamma(k + 1.0) - math.lgamma(n - k + 1.0)
+    )
+
+
+def log_binomial_array(n: int, k: np.ndarray) -> np.ndarray:
+    """Vectorized ``ln C(n, k)`` over an integer array *k*.
+
+    Entries with ``k < 0`` or ``k > n`` map to ``-inf``.
+    """
+    if n < 0:
+        raise ValueError(f"log_binomial_array requires n >= 0, got n={n}")
+    k = np.asarray(k, dtype=np.float64)
+    out = np.full(k.shape, _NEG_INF, dtype=np.float64)
+    valid = (k >= 0) & (k <= n)
+    kv = k[valid]
+    out[valid] = (
+        math.lgamma(n + 1.0)
+        - _lgamma_vec(kv + 1.0)
+        - _lgamma_vec(n - kv + 1.0)
+    )
+    return out
+
+
+def _lgamma_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized lgamma; numpy has no ufunc for it in the stdlib namespace."""
+    # ``math.lgamma`` via frompyfunc is accurate; for the small arrays used
+    # here (length <= K ~ few hundred) speed is irrelevant.
+    return np.frompyfunc(math.lgamma, 1, 1)(x).astype(np.float64)
+
+
+def logsumexp(values: Iterable[float]) -> float:
+    """Return ``ln(sum(exp(v) for v in values))`` stably.
+
+    Accepts any iterable of floats, possibly containing ``-inf`` entries
+    (they contribute zero mass).  Returns ``-inf`` for an empty iterable
+    or when every entry is ``-inf``.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return _NEG_INF
+    m = max(vals)
+    if m == _NEG_INF:
+        return _NEG_INF
+    acc = 0.0
+    for v in vals:
+        acc += math.exp(v - m)
+    return m + math.log(acc)
+
+
+def log1mexp(log_p: float) -> float:
+    """Return ``ln(1 - exp(log_p))`` for ``log_p <= 0`` stably.
+
+    This is the standard two-branch formula (Mächler 2012): for
+    ``log_p > -ln 2`` use ``log(-expm1(log_p))``, otherwise
+    ``log1p(-exp(log_p))``.  ``log_p = 0`` maps to ``-inf`` (probability
+    exactly 1 has zero complement); ``log_p = -inf`` maps to ``0.0``.
+    """
+    if log_p > 0.0:
+        raise ValueError(f"log1mexp requires log_p <= 0, got {log_p}")
+    if log_p == 0.0:
+        return _NEG_INF
+    if log_p == _NEG_INF:
+        return 0.0
+    if log_p > -math.log(2.0):
+        return math.log(-math.expm1(log_p))
+    return math.log1p(-math.exp(log_p))
+
+
+def log_falling_factorial(n: float, k: int) -> float:
+    """Return ``ln(n * (n-1) * ... * (n-k+1))`` for real ``n >= k-1 >= 0``.
+
+    Used by the asymptotic expansions in :mod:`repro.probability.asymptotics`.
+    """
+    if k < 0:
+        raise ValueError(f"log_falling_factorial requires k >= 0, got {k}")
+    if k == 0:
+        return 0.0
+    if n < k - 1:
+        raise ValueError(
+            f"log_falling_factorial requires n >= k-1, got n={n}, k={k}"
+        )
+    return math.lgamma(n + 1.0) - math.lgamma(n - k + 1.0)
+
+
+def stable_sum(values: Sequence[float]) -> float:
+    """Kahan-compensated sum of a sequence of floats.
+
+    Monte Carlo estimators aggregate many near-equal terms; compensated
+    summation keeps the estimator exact to double precision regardless of
+    the trial count.
+    """
+    total = 0.0
+    compensation = 0.0
+    for v in values:
+        y = v - compensation
+        t = total + y
+        compensation = (t - total) - y
+        total = t
+    return total

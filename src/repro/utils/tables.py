@@ -1,0 +1,113 @@
+"""Plain-text rendering of result tables and curves.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers render them as aligned ASCII tables and simple unicode
+line plots so experiment output is readable in a terminal and diffable
+in CI logs.  No plotting dependency is used anywhere in the library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "format_curve", "format_kv_block"]
+
+
+def _cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    floatfmt: str = ".4f",
+    title: Optional[str] = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Floats are formatted with *floatfmt*; all other values via ``str``.
+    Raises ``ValueError`` if any row length differs from the header
+    length, which catches experiment-harness bugs early.
+    """
+    headers = [str(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered.append([_cell(v, floatfmt) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+    label: str = "",
+) -> str:
+    """Render a single curve as a coarse ASCII scatter plot.
+
+    Designed for probability-vs-parameter curves: the y-range defaults to
+    ``[0, 1]``.  Each point is bucketed into a character cell; collisions
+    keep the first marker.  The plot is intentionally minimal — its job
+    is to make the threshold shape of Figure 1 visible in terminal logs.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return "(empty curve)"
+    if y_max <= y_min:
+        raise ValueError("y_max must exceed y_min")
+    x_lo, x_hi = min(xs), max(xs)
+    span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        cx = int(round((x - x_lo) / span * (width - 1)))
+        frac = (min(max(y, y_min), y_max) - y_min) / (y_max - y_min)
+        cy = (height - 1) - int(round(frac * (height - 1)))
+        grid[cy][cx] = "*"
+
+    lines = []
+    if label:
+        lines.append(label)
+    for r, row in enumerate(grid):
+        y_val = y_max - (y_max - y_min) * r / (height - 1)
+        lines.append(f"{y_val:6.2f} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    lines.append(f"{'':7}{x_lo:<10.4g}{'':{max(0, width - 20)}}{x_hi:>10.4g}")
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, pairs: Sequence[Sequence[object]]) -> str:
+    """Render ``key: value`` pairs under a title, for run headers."""
+    key_width = max((len(str(k)) for k, _ in pairs), default=0)
+    lines = [title, "-" * len(title)]
+    for key, value in pairs:
+        lines.append(f"{str(key).ljust(key_width)} : {value}")
+    return "\n".join(lines)

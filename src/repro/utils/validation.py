@@ -1,0 +1,153 @@
+"""Parameter validation helpers shared across the library.
+
+Every public entry point of :mod:`repro` validates its arguments through
+these helpers so that error messages are uniform and the validation rules
+live in exactly one place.  All helpers raise
+:class:`repro.exceptions.ParameterError` on failure and return the
+(possibly normalized) value on success.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_probability",
+    "check_positive_float",
+    "check_finite_float",
+    "check_in_range",
+    "check_key_parameters",
+]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is an integer >= 1 and return it as ``int``.
+
+    Booleans are rejected even though ``bool`` subclasses ``int``: passing
+    ``True`` for a count is always a bug.
+    """
+    if isinstance(value, bool):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    if not isinstance(value, int):
+        # Accept numpy integer scalars by duck-typing on __index__.
+        try:
+            value = int(value.__index__())  # type: ignore[union-attr]
+        except (AttributeError, TypeError):
+            raise ParameterError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 1:
+        raise ParameterError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Validate that *value* is an integer >= 0 and return it as ``int``."""
+    if isinstance(value, bool):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    if not isinstance(value, int):
+        try:
+            value = int(value.__index__())  # type: ignore[union-attr]
+        except (AttributeError, TypeError):
+            raise ParameterError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str, *, allow_zero: bool = True) -> float:
+    """Validate that *value* is a probability in ``[0, 1]`` (or ``(0, 1]``).
+
+    Parameters
+    ----------
+    value:
+        The candidate probability.
+    name:
+        Argument name used in error messages.
+    allow_zero:
+        When ``False`` the valid range is ``(0, 1]`` — the paper's channel
+        probability ``p_n`` satisfies ``0 < p_n <= 1``.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    if math.isnan(value):
+        raise ParameterError(f"{name} must not be NaN")
+    low_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not (low_ok and value <= 1.0):
+        interval = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ParameterError(f"{name} must lie in {interval}, got {value}")
+    return value
+
+
+def check_positive_float(value: float, name: str) -> float:
+    """Validate that *value* is a finite real number > 0."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    if not math.isfinite(value) or value <= 0.0:
+        raise ParameterError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_finite_float(value: float, name: str) -> float:
+    """Validate that *value* is a finite real number (any sign)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    if not math.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    *,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate that *value* lies in the described interval."""
+    value = check_finite_float(value, name)
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ParameterError(f"{name} must be >= {low}, got {value}")
+        if not low_inclusive and value <= low:
+            raise ParameterError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ParameterError(f"{name} must be <= {high}, got {value}")
+        if not high_inclusive and value >= high:
+            raise ParameterError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def check_key_parameters(key_ring_size: int, pool_size: int, overlap: int) -> None:
+    """Validate the q-composite triple ``(K, P, q)``.
+
+    Enforces the paper's natural condition ``1 <= q <= K <= P`` (Section I
+    requires ``q < K < P``; we accept the closed boundary cases ``q = K``
+    and ``K = P`` because the hypergeometric formulas remain well defined
+    there and they are useful in tests).
+    """
+    key_ring_size = check_positive_int(key_ring_size, "key_ring_size")
+    pool_size = check_positive_int(pool_size, "pool_size")
+    overlap = check_positive_int(overlap, "overlap (q)")
+    if key_ring_size > pool_size:
+        raise ParameterError(
+            f"key_ring_size K={key_ring_size} must not exceed pool_size P={pool_size}"
+        )
+    if overlap > key_ring_size:
+        raise ParameterError(
+            f"overlap q={overlap} must not exceed key_ring_size K={key_ring_size}"
+        )

@@ -1,0 +1,37 @@
+"""WSN layer: deployed networks, routing, failures, attacks, metrics."""
+
+from repro.wsn.attacks import (
+    CaptureAttackResult,
+    analytic_compromise_fraction,
+    capture_attack,
+)
+from repro.wsn.failures import (
+    apply_random_failures,
+    connectivity_after_failures,
+    random_node_failures,
+    worst_case_failure_search,
+)
+from repro.wsn.metrics import TopologySummary, summarize
+from repro.wsn.network import SecureWSN
+from repro.wsn.resilience import ResilienceOutcome, evaluate_resilience
+from repro.wsn.routing import SecureRoute, find_secure_route, route_stretch
+from repro.wsn.sensor import Sensor
+
+__all__ = [
+    "CaptureAttackResult",
+    "analytic_compromise_fraction",
+    "capture_attack",
+    "apply_random_failures",
+    "connectivity_after_failures",
+    "random_node_failures",
+    "worst_case_failure_search",
+    "TopologySummary",
+    "summarize",
+    "SecureWSN",
+    "ResilienceOutcome",
+    "evaluate_resilience",
+    "SecureRoute",
+    "find_secure_route",
+    "route_stretch",
+    "Sensor",
+]

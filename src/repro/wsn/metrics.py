@@ -1,0 +1,55 @@
+"""Topology summary metrics for a deployed network."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.graphs.properties import (
+    average_clustering,
+    degrees_from_edges,
+)
+from repro.wsn.network import SecureWSN
+
+__all__ = ["TopologySummary", "summarize"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologySummary:
+    """Snapshot of the secure topology's key health indicators."""
+
+    num_nodes: int
+    num_live: int
+    num_secure_links: int
+    min_degree: int
+    mean_degree: float
+    isolated_nodes: int
+    connected: bool
+    clustering: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def summarize(network: SecureWSN, *, with_clustering: bool = True) -> TopologySummary:
+    """Compute a :class:`TopologySummary` of the current topology.
+
+    ``with_clustering=False`` skips the ``O(n d^2)`` clustering pass for
+    callers inside tight loops.
+    """
+    edges = network.secure_edges()
+    degs = degrees_from_edges(network.num_nodes, edges)
+    live = network.live_count()
+    clustering = (
+        average_clustering(network.graph()) if with_clustering else float("nan")
+    )
+    return TopologySummary(
+        num_nodes=network.num_nodes,
+        num_live=live,
+        num_secure_links=int(edges.shape[0]),
+        min_degree=int(degs.min()),
+        mean_degree=float(degs.mean()),
+        isolated_nodes=int((degs == 0).sum()),
+        connected=network.is_connected(),
+        clustering=clustering,
+    )

@@ -1,0 +1,211 @@
+"""The secure-WSN façade: scheme ∘ channel → topology ``G_{n,q}``.
+
+:class:`SecureWSN` deploys ``n`` sensors with a key predistribution
+scheme and a channel model, then materializes the secure topology: the
+edge ``{i, j}`` exists iff the rings share at least ``q`` keys *and* the
+channel is on — exactly ``G_q(n,K,P) ∩ G(n,p)`` of the paper's Eq. (1)
+when the channel is :class:`~repro.channels.onoff.OnOffChannel`.
+
+The class keeps the intermediate layers inspectable (key graph, channel
+mask, per-sensor rings) because the experiments need them, and supports
+in-place node failure, which re-derives the surviving topology.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.channels.base import ChannelModel, ChannelRealization
+from repro.channels.disk import DiskRealization
+from repro.channels.onoff import OnOffChannel
+from repro.exceptions import ParameterError
+from repro.graphs.graph import Graph
+from repro.graphs.unionfind import is_connected_edges
+from repro.graphs.vertex_connectivity import is_k_connected as _graph_k_connected
+from repro.keygraphs.schemes import QCompositeScheme
+from repro.params import QCompositeParams
+from repro.utils.rng import RandomState, spawn_generators
+from repro.utils.validation import check_positive_int
+from repro.wsn.sensor import Sensor
+
+__all__ = ["SecureWSN"]
+
+
+class SecureWSN:
+    """A deployed secure wireless sensor network.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of sensors to deploy.
+    scheme:
+        Key predistribution scheme (ring assignment + link rule).
+    channel:
+        Channel model; defaults to a perfect channel (``p = 1``).
+    seed:
+        Root seed; ring assignment and channel state draw from
+        independent spawned streams.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        scheme: QCompositeScheme,
+        channel: Optional[ChannelModel] = None,
+        seed: RandomState = None,
+    ) -> None:
+        self.num_nodes = check_positive_int(num_nodes, "num_nodes")
+        if self.num_nodes < 2:
+            raise ParameterError("a network needs at least 2 sensors")
+        self.scheme = scheme
+        self.channel = channel if channel is not None else OnOffChannel(1.0)
+
+        ring_rng, channel_rng = spawn_generators(seed, 2)
+        self.rings = scheme.assign_rings(self.num_nodes, ring_rng)
+        self.channel_state: ChannelRealization = self.channel.sample(
+            self.num_nodes, channel_rng
+        )
+
+        self.sensors: List[Sensor] = [
+            Sensor(node_id=i, ring=self.rings[i]) for i in range(self.num_nodes)
+        ]
+        if isinstance(self.channel_state, DiskRealization):
+            for sensor in self.sensors:
+                x, y = self.channel_state.positions[sensor.node_id]
+                sensor.position = (float(x), float(y))
+
+        # Key-graph candidate edges and the channel decision per candidate.
+        self._key_edges = scheme.key_graph_edges(self.rings)
+        self._channel_mask = self.channel_state.edge_mask(self._key_edges)
+        self._secure_edges_all = self._key_edges[self._channel_mask]
+        self._graph_cache: Optional[Graph] = None
+
+    # -- topology ---------------------------------------------------------
+
+    @property
+    def key_graph_edges(self) -> np.ndarray:
+        """Edges of the key graph ``G_q`` (ignores channels and failures)."""
+        return self._key_edges
+
+    def secure_edges(self) -> np.ndarray:
+        """Current secure topology edges (channel on ∧ both endpoints alive)."""
+        edges = self._secure_edges_all
+        dead = [s.node_id for s in self.sensors if not s.alive]
+        if not dead:
+            return edges
+        dead_arr = np.array(dead, dtype=np.int64)
+        keep = ~(
+            np.isin(edges[:, 0], dead_arr) | np.isin(edges[:, 1], dead_arr)
+        )
+        return edges[keep]
+
+    def graph(self) -> Graph:
+        """Secure topology as a :class:`Graph` (cached until failures change)."""
+        if self._graph_cache is None:
+            self._graph_cache = Graph.from_edge_array(
+                self.num_nodes, self.secure_edges()
+            )
+        return self._graph_cache
+
+    def _invalidate(self) -> None:
+        self._graph_cache = None
+
+    # -- connectivity -------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Can every pair of live sensors communicate securely (k = 1)?
+
+        Failed sensors are excluded from the requirement: connectivity is
+        evaluated on the subgraph induced by live sensors.
+        """
+        alive = [s.node_id for s in self.sensors if s.alive]
+        if len(alive) <= 1:
+            return True
+        if len(alive) == self.num_nodes:
+            return is_connected_edges(self.num_nodes, self.secure_edges())
+        relabel = {node: idx for idx, node in enumerate(alive)}
+        edges = self.secure_edges()
+        remapped = np.array(
+            [(relabel[int(u)], relabel[int(v)]) for u, v in edges], dtype=np.int64
+        ).reshape(-1, 2)
+        return is_connected_edges(len(alive), remapped)
+
+    def is_k_connected(self, k: int) -> bool:
+        """Exact k-connectivity of the current secure topology.
+
+        Evaluated on the full node set when all sensors are alive, or on
+        the live-induced subgraph otherwise.
+        """
+        alive = [s.node_id for s in self.sensors if s.alive]
+        if len(alive) == self.num_nodes:
+            return _graph_k_connected(self.graph(), k)
+        relabel = {node: idx for idx, node in enumerate(alive)}
+        sub = Graph(max(len(alive), 1))
+        for u, v in self.secure_edges():
+            sub.add_edge(relabel[int(u)], relabel[int(v)])
+        return _graph_k_connected(sub, k)
+
+    # -- link-level API -------------------------------------------------------
+
+    def can_communicate(self, a: int, b: int) -> bool:
+        """Secure one-hop link between sensors *a* and *b* right now?"""
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            raise ParameterError("a and b must be distinct sensors")
+        if not (self.sensors[a].alive and self.sensors[b].alive):
+            return False
+        if not self.scheme.can_establish(self.rings[a], self.rings[b]):
+            return False
+        pair = np.array([[min(a, b), max(a, b)]], dtype=np.int64)
+        return bool(self.channel_state.edge_mask(pair)[0])
+
+    def link_key(self, a: int, b: int) -> Optional[bytes]:
+        """Link key for a usable secure link, else ``None``."""
+        if not self.can_communicate(a, b):
+            return None
+        return self.scheme.link_key(self.rings[a], self.rings[b])
+
+    # -- failures ----------------------------------------------------------
+
+    def fail_nodes(self, node_ids: Sequence[int]) -> None:
+        """Mark sensors as failed (battery depletion, capture, ...)."""
+        for node in node_ids:
+            self._check_node(int(node))
+            self.sensors[int(node)].alive = False
+        self._invalidate()
+
+    def restore_all(self) -> None:
+        """Revive every sensor (fresh analysis on the same deployment)."""
+        for sensor in self.sensors:
+            sensor.alive = True
+        self._invalidate()
+
+    def live_count(self) -> int:
+        """Number of live sensors."""
+        return sum(1 for s in self.sensors if s.alive)
+
+    # -- misc -------------------------------------------------------------
+
+    @classmethod
+    def from_params(
+        cls, params: QCompositeParams, seed: RandomState = None
+    ) -> "SecureWSN":
+        """Deploy directly from a :class:`QCompositeParams` bundle."""
+        scheme = QCompositeScheme(
+            params.key_ring_size, params.pool_size, params.overlap
+        )
+        channel = OnOffChannel(params.channel_prob)
+        return cls(params.num_nodes, scheme, channel, seed)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ParameterError(f"sensor id {node} outside [0, {self.num_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SecureWSN(n={self.num_nodes}, scheme={self.scheme!r}, "
+            f"channel={self.channel!r}, live={self.live_count()})"
+        )

@@ -1,0 +1,76 @@
+"""Tests for Lemma 2 asymptotics of the edge probability."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.probability.asymptotics import (
+    asymptotic_relative_error,
+    asymptotics_report,
+    edge_probability_asymptotic,
+    key_ring_size_for_edge_probability,
+)
+from repro.probability.hypergeometric import overlap_survival
+
+
+class TestAsymptoticFormula:
+    def test_formula_value(self):
+        # (1/2!) (K^2/P)^2 at K=35, P=10000.
+        expect = 0.5 * (35 * 35 / 10000) ** 2
+        assert edge_probability_asymptotic(35, 10000, 2) == pytest.approx(expect)
+
+    def test_accepts_real_K(self):
+        v = edge_probability_asymptotic(34.5, 10000, 2)
+        assert 0 < v < 1
+
+    def test_relative_error_shrinks_with_both_conditions(self):
+        # Lemma 2 needs K = ω(1) AND K²/P = o(1): grow K while K²/P
+        # shrinks, and the relative error must decrease toward 0.
+        configs = [(35, 10_000), (70, 80_000), (140, 640_000), (280, 5_120_000)]
+        errs = [abs(asymptotic_relative_error(K, P, 2)) for K, P in configs]
+        assert all(a > b for a, b in zip(errs, errs[1:]))
+        assert errs[-1] < 0.02
+
+    def test_asymptotic_overestimates_at_figure1_scale(self):
+        # Documented behaviour behind the K* discrepancy: the Lemma 2
+        # form exceeds the exact tail at the paper's (K, P).
+        assert asymptotic_relative_error(35, 10000, 2) > 0.0
+        assert asymptotic_relative_error(60, 10000, 3) > 0.0
+
+    def test_report_fields(self):
+        rep = asymptotics_report(40, 10000, 2)
+        assert set(rep) == {
+            "exact",
+            "asymptotic",
+            "relative_error",
+            "ratio_K2_over_P",
+        }
+        assert rep["exact"] == pytest.approx(overlap_survival(40, 10000, 2))
+        assert rep["ratio_K2_over_P"] == pytest.approx(0.16)
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        for q in (1, 2, 3):
+            target = 0.007
+            K = key_ring_size_for_edge_probability(target, 10000, q)
+            assert edge_probability_asymptotic(K, 10000, q) == pytest.approx(
+                target, rel=1e-9
+            )
+
+    def test_target_one_rejected(self):
+        with pytest.raises(ParameterError):
+            key_ring_size_for_edge_probability(1.0, 10000, 2)
+
+    def test_target_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            key_ring_size_for_edge_probability(0.0, 10000, 2)
+
+    def test_matches_paper_kstar_q2(self):
+        # ceil of the continuous solution reproduces the paper's 35.
+        tau = math.log(1000) / 1000
+        K = key_ring_size_for_edge_probability(tau, 10000, 2)
+        assert math.ceil(K) == 35

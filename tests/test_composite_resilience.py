@@ -1,0 +1,145 @@
+"""Tests for CompositeChannel and resilient connectivity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channels.composite import CompositeChannel
+from repro.channels.disk import DiskChannel
+from repro.channels.onoff import OnOffChannel
+from repro.exceptions import ParameterError
+from repro.keygraphs.schemes import QCompositeScheme
+from repro.wsn.network import SecureWSN
+from repro.wsn.resilience import evaluate_resilience
+
+
+class TestCompositeChannel:
+    def test_marginal_is_product(self):
+        chan = CompositeChannel([OnOffChannel(0.5), OnOffChannel(0.4)])
+        assert chan.edge_probability() == pytest.approx(0.2)
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeChannel([])
+
+    def test_mask_is_and_of_members(self):
+        chan = CompositeChannel([OnOffChannel(0.6), OnOffChannel(0.6)])
+        real = chan.sample(50, seed=3)
+        edges = np.array([(u, v) for u in range(50) for v in range(u + 1, 50)])
+        mask = real.edge_mask(edges)
+        m0 = real.members[0].edge_mask(edges)
+        m1 = real.members[1].edge_mask(edges)
+        assert np.array_equal(mask, m0 & m1)
+
+    def test_mask_consistent_on_requery(self):
+        real = CompositeChannel([OnOffChannel(0.5), OnOffChannel(0.5)]).sample(
+            20, seed=4
+        )
+        edges = np.array([[0, 1], [2, 3], [4, 5]])
+        first = real.edge_mask(edges)
+        assert np.array_equal(real.edge_mask(edges), first)
+
+    def test_channel_edges_subset_of_each_member(self):
+        chan = CompositeChannel([OnOffChannel(0.7), DiskChannel(0.5, torus=True)])
+        real = chan.sample(30, seed=5)
+        composite_edges = {tuple(map(int, e)) for e in real.channel_edges()}
+        for member in real.members:
+            member_mask = member.edge_mask(
+                np.array(sorted(composite_edges), dtype=np.int64).reshape(-1, 2)
+            )
+            assert member_mask.all()
+
+    def test_triple_intersection_in_wsn(self):
+        # G_q ∩ G(n,p) ∩ RGG(n,r): reference [38]'s model, end to end.
+        chan = CompositeChannel([OnOffChannel(0.8), DiskChannel(0.6, torus=True)])
+        wsn = SecureWSN(40, QCompositeScheme(15, 200, 2), chan, seed=6)
+        onoff_only = SecureWSN(
+            40, QCompositeScheme(15, 200, 2), OnOffChannel(0.8), seed=6
+        )
+        # Same seed gives same rings; extra constraint can only thin links.
+        assert np.array_equal(wsn.rings, onoff_only.rings)
+        assert wsn.secure_edges().shape[0] <= onoff_only.secure_edges().shape[0]
+
+
+class TestResilience:
+    @pytest.fixture
+    def net(self) -> SecureWSN:
+        return SecureWSN(
+            60, QCompositeScheme(25, 300, 2), OnOffChannel(0.9), seed=11
+        )
+
+    def test_zero_captured_matches_plain_connectivity(self, net):
+        out = evaluate_resilience(net, 0, seed=1)
+        assert out.compromised_links == 0
+        assert out.survivors == 60
+        assert out.resiliently_connected == out.connected_ignoring_compromise
+        assert out.connected_ignoring_compromise == net.is_connected()
+
+    def test_resilient_implies_plain(self, net):
+        for seed in range(8):
+            out = evaluate_resilience(net, 10, seed=seed)
+            if out.resiliently_connected:
+                assert out.connected_ignoring_compromise
+
+    def test_survivor_count(self, net):
+        out = evaluate_resilience(net, 15, seed=2)
+        assert out.survivors == 45
+        assert len(out.captured_nodes) == 15
+
+    def test_compromise_fraction_bounds(self, net):
+        out = evaluate_resilience(net, 20, seed=3)
+        assert 0.0 <= out.compromise_fraction <= 1.0
+        assert (
+            out.surviving_links + out.compromised_links
+            >= out.surviving_links
+        )
+
+    def test_nondestructive(self, net):
+        before = net.live_count()
+        evaluate_resilience(net, 12, seed=4)
+        assert net.live_count() == before
+
+    def test_capture_too_many_raises(self, net):
+        with pytest.raises(ParameterError):
+            evaluate_resilience(net, 59)
+
+    def test_negative_captured_raises(self, net):
+        with pytest.raises(ParameterError):
+            evaluate_resilience(net, -1)
+
+    def test_heavy_capture_degrades(self):
+        # With a tiny pool, capturing most sensors compromises nearly
+        # everything: resilient connectivity should fail far more often
+        # than plain connectivity.
+        resilient_hits = plain_hits = 0
+        for seed in range(10):
+            net = SecureWSN(
+                40, QCompositeScheme(12, 60, 1), OnOffChannel(1.0), seed=seed
+            )
+            out = evaluate_resilience(net, 25, seed=seed)
+            resilient_hits += out.resiliently_connected
+            plain_hits += out.connected_ignoring_compromise
+        assert resilient_hits <= plain_hits
+
+    def test_experiment_registered(self):
+        from repro.experiments.registry import get_experiment
+
+        assert get_experiment("resilience").name == "resilience"
+
+    def test_experiment_quick_run(self):
+        from repro.experiments.resilience import render_resilience, run_resilience
+
+        result = run_resilience(
+            trials=3,
+            qs=(1,),
+            captured_grid=(0, 10),
+            num_nodes=80,
+            design_nodes=80,
+            pool_size=1000,
+            workers=1,
+        )
+        assert len(result.points) == 2
+        zero_row = result.points[0]
+        assert zero_row.point["mean_compromise_fraction"] == 0.0
+        assert "resiliently conn." in render_resilience(result)

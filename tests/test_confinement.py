@@ -1,0 +1,118 @@
+"""Tests for the Lemma 1 confinement constructions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.confinement import (
+    ConfinementCase,
+    confine_above,
+    confine_below,
+)
+from repro.core.scaling import channel_prob_for_alpha, deviation_alpha
+from repro.params import QCompositeParams
+
+
+def params_at_alpha(alpha: float, n: int = 1000, K: int = 60, P: int = 10000, q: int = 2):
+    p = channel_prob_for_alpha(n, K, P, q, alpha, k=1)
+    return QCompositeParams(
+        num_nodes=n, key_ring_size=K, pool_size=P, overlap=q, channel_prob=p
+    )
+
+
+class TestConfineAbove:
+    def test_large_alpha_clipped_to_loglog(self):
+        params = params_at_alpha(5.0)
+        result = confine_above(params, k=1)
+        loglog = math.log(math.log(1000))
+        assert result.alpha_original == pytest.approx(5.0, abs=1e-9)
+        assert result.alpha_confined == pytest.approx(loglog, abs=1e-6)
+
+    def test_channel_only_shrinks(self):
+        params = params_at_alpha(5.0)
+        result = confine_above(params, k=1)
+        assert result.confined.channel_prob <= params.channel_prob
+        assert result.confined.key_ring_size == params.key_ring_size
+        assert result.case is ConfinementCase.SUBGRAPH_CHANNEL
+
+    def test_small_alpha_untouched(self):
+        params = params_at_alpha(0.5)  # below ln ln 1000 ≈ 1.93
+        result = confine_above(params, k=1)
+        assert result.confined == params
+
+    def test_k2_variant(self):
+        n, K, P, q = 1000, 70, 10000, 2
+        p = channel_prob_for_alpha(n, K, P, q, 6.0, k=2)
+        params = QCompositeParams(
+            num_nodes=n, key_ring_size=K, pool_size=P, overlap=q, channel_prob=p
+        )
+        result = confine_above(params, k=2)
+        assert result.alpha_confined == pytest.approx(
+            math.log(math.log(n)), abs=1e-6
+        )
+
+
+class TestConfineBelow:
+    def test_case1_channel_raise(self):
+        # alpha very negative but the key graph alone can reach the
+        # lifted target: case ➊ raises p, keeps K.
+        params = params_at_alpha(-4.0)
+        result = confine_below(params, k=1)
+        assert result.case is ConfinementCase.SUPERGRAPH_CHANNEL
+        assert result.confined.channel_prob >= params.channel_prob
+        assert result.confined.key_ring_size == params.key_ring_size
+        assert result.alpha_confined == pytest.approx(
+            -math.log(math.log(1000)), abs=1e-6
+        )
+
+    def test_case2_ring_grow(self):
+        # Key graph too weak even at p = 1: case ➋ grows the ring.
+        n, K, P, q = 1000, 30, 10000, 2
+        params = QCompositeParams(
+            num_nodes=n, key_ring_size=K, pool_size=P, overlap=q, channel_prob=0.9
+        )
+        assert deviation_alpha(params, 1) < -math.log(math.log(n))
+        result = confine_below(params, k=1)
+        assert result.case is ConfinementCase.SUPERGRAPH_RING
+        assert result.confined.channel_prob == 1.0
+        assert result.confined.key_ring_size >= K
+
+    def test_case2_ring_is_maximal(self):
+        # Eq. (32): K̂ is the largest ring whose s stays below the target.
+        n, K, P, q = 1000, 30, 10000, 2
+        params = QCompositeParams(
+            num_nodes=n, key_ring_size=K, pool_size=P, overlap=q, channel_prob=0.9
+        )
+        result = confine_below(params, k=1)
+        from repro.probability.hypergeometric import overlap_survival
+        from repro.probability.limits import edge_probability_from_alpha
+
+        target = edge_probability_from_alpha(
+            max(deviation_alpha(params, 1), -math.log(math.log(n))), n, 1
+        )
+        k_hat = result.confined.key_ring_size
+        assert overlap_survival(k_hat, P, q) <= target
+        assert overlap_survival(k_hat + 1, P, q) > target
+
+    def test_confined_alpha_never_below_original(self):
+        for alpha in (-6.0, -3.0, -2.5):
+            params = params_at_alpha(alpha)
+            result = confine_below(params, k=1)
+            assert result.alpha_confined >= result.alpha_original - 1e-9
+
+    def test_supergraph_edge_probability_dominates(self):
+        # The lifted design must have a larger edge probability — the
+        # analytic face of "spanning supergraph".
+        params = params_at_alpha(-5.0)
+        result = confine_below(params, k=1)
+        assert (
+            result.confined.edge_probability()
+            >= params.edge_probability() - 1e-15
+        )
+
+    def test_to_dict(self):
+        result = confine_below(params_at_alpha(-4.0), k=1)
+        d = result.to_dict()
+        assert "case" in d and "alpha_confined" in d

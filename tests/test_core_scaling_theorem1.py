@@ -1,0 +1,156 @@
+"""Tests for core scaling transforms, Theorem 1 predictor, ER laws, conditions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.conditions import check_theorem1_conditions
+from repro.core.er_laws import er_alpha, er_k_connectivity_probability
+from repro.core.scaling import (
+    channel_prob_for_alpha,
+    critical_scaling,
+    deviation_alpha,
+    scaling_report,
+)
+from repro.core.theorem1 import (
+    ConnectivityRegime,
+    classify_regime,
+    predict_k_connectivity,
+)
+from repro.exceptions import ParameterError
+from repro.params import QCompositeParams
+from repro.probability.limits import limit_probability
+
+
+class TestScaling:
+    def test_deviation_matches_params_alpha(self, figure1_params):
+        for k in (1, 2, 3):
+            assert deviation_alpha(figure1_params, k) == pytest.approx(
+                figure1_params.alpha(k)
+            )
+
+    def test_channel_prob_for_alpha_roundtrip(self):
+        n, K, P, q = 800, 50, 10000, 2
+        for alpha in (-1.0, 0.0, 2.0):
+            p = channel_prob_for_alpha(n, K, P, q, alpha, k=1)
+            params = QCompositeParams(
+                num_nodes=n, key_ring_size=K, pool_size=P, overlap=q, channel_prob=p
+            )
+            assert deviation_alpha(params, 1) == pytest.approx(alpha, abs=1e-9)
+
+    def test_channel_prob_infeasible_raises(self):
+        # Tiny ring: even p = 1 cannot reach alpha = 0.
+        with pytest.raises(ParameterError):
+            channel_prob_for_alpha(1000, 5, 10000, 2, 0.0, k=1)
+
+    def test_critical_scaling_value(self):
+        assert critical_scaling(1000, 1) == pytest.approx(math.log(1000) / 1000)
+
+    def test_report_keys(self, figure1_params):
+        rep = scaling_report(figure1_params, 2)
+        assert {"edge_probability", "critical", "alpha", "mean_degree", "log_n"} == (
+            set(rep)
+        )
+
+
+class TestTheorem1Predictor:
+    def test_probability_equals_limit_at_alpha(self, figure1_params):
+        pred = predict_k_connectivity(figure1_params, 1)
+        assert pred.probability == pytest.approx(
+            limit_probability(pred.alpha, 1)
+        )
+
+    def test_monotone_in_ring_size(self):
+        probs = []
+        for K in (40, 50, 60, 70):
+            params = QCompositeParams(
+                num_nodes=1000,
+                key_ring_size=K,
+                pool_size=10000,
+                overlap=2,
+                channel_prob=0.5,
+            )
+            probs.append(predict_k_connectivity(params, 1).probability)
+        assert all(a <= b for a, b in zip(probs, probs[1:]))
+
+    def test_higher_k_less_likely(self, figure1_params):
+        p1 = predict_k_connectivity(figure1_params, 1).probability
+        p3 = predict_k_connectivity(figure1_params, 3).probability
+        assert p3 <= p1
+
+    def test_regimes(self):
+        n = 1000
+        scale = math.log(math.log(n))
+        assert classify_regime(10 * scale, n) is ConnectivityRegime.CONNECTED_WHP
+        assert classify_regime(-10 * scale, n) is ConnectivityRegime.DISCONNECTED_WHP
+        assert classify_regime(0.0, n) is ConnectivityRegime.CRITICAL
+
+    def test_prediction_to_dict(self, figure1_params):
+        d = predict_k_connectivity(figure1_params, 2).to_dict()
+        assert d["k"] == 2
+        assert "conditions" in d and "regime" in d
+
+
+class TestConditions:
+    def test_paper_scale_scores(self, figure1_params):
+        # At the paper's own simulation scale the o(.) ratios are far
+        # above 1 — the honest reading is "not yet asymptotic".
+        rep = check_theorem1_conditions(figure1_params)
+        assert rep.overlap_score == pytest.approx(
+            (60**2 / 10000) * math.log(1000)
+        )
+        assert rep.ring_fraction_score == pytest.approx(
+            (60 / 10000) * 1000 * math.log(1000)
+        )
+        assert not rep.satisfied(tolerance=1.0)
+        assert rep.satisfied(tolerance=50.0)
+
+    def test_truly_asymptotic_scale_satisfied(self):
+        # A design with a huge pool drives both scores below 1.
+        params = QCompositeParams(
+            num_nodes=1000,
+            key_ring_size=60,
+            pool_size=10_000_000,
+            overlap=1,
+            channel_prob=1.0,
+        )
+        assert check_theorem1_conditions(params).satisfied()
+
+    def test_bad_regime_flagged(self):
+        # Huge rings relative to the pool violate K^2/P = o(1/ln n).
+        params = QCompositeParams(
+            num_nodes=1000, key_ring_size=300, pool_size=1000, overlap=1
+        )
+        rep = check_theorem1_conditions(params)
+        assert not rep.satisfied()
+
+    def test_to_dict(self, figure1_params):
+        d = check_theorem1_conditions(figure1_params).to_dict()
+        assert set(d) == {
+            "ring_growth_score",
+            "overlap_score",
+            "ring_fraction_score",
+        }
+
+
+class TestErLaws:
+    def test_alpha_consistency(self):
+        n, p = 2000, 0.006
+        assert er_alpha(n, p, 1) == pytest.approx(n * p - math.log(n))
+
+    def test_probability_at_threshold(self):
+        n = 5000
+        p = math.log(n) / n
+        assert er_k_connectivity_probability(n, p, 1) == pytest.approx(
+            math.exp(-1.0), rel=1e-9
+        )
+
+    def test_same_limit_as_intersection_graph(self, figure1_params):
+        # Theorem 1's content: at matched edge probability, G_{n,q} and
+        # ER predictions coincide.
+        t = figure1_params.edge_probability()
+        ours = predict_k_connectivity(figure1_params, 2).probability
+        er = er_k_connectivity_probability(figure1_params.num_nodes, t, 2)
+        assert ours == pytest.approx(er, rel=1e-12)

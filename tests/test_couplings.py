@@ -1,0 +1,100 @@
+"""Tests for the Lemma 5/6 coupling parameter maps."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy.stats import binom
+
+from repro.exceptions import ParameterError
+from repro.probability.couplings import (
+    binomial_key_probability,
+    binomial_ring_tail_probability,
+    coupled_er_probability,
+    coupled_er_probability_full,
+    coupling_report,
+    coupling_success_probability,
+)
+
+
+class TestBinomialKeyProbability:
+    def test_eq66_value(self):
+        n, K, P = 1000, 80, 10000
+        expect = (K / P) * (1 - math.sqrt(3 * math.log(n) / K))
+        assert binomial_key_probability(n, K, P) == pytest.approx(expect)
+
+    def test_below_mean_ratio(self):
+        # x_n is deliberately below K/P so binomial rings are smaller.
+        n, K, P = 1000, 80, 10000
+        assert binomial_key_probability(n, K, P) < K / P
+
+    def test_small_ring_rejected(self):
+        # K <= 3 ln n makes Eq. (66) undefined.
+        with pytest.raises(ParameterError):
+            binomial_key_probability(1000, 20, 10000)
+
+    def test_larger_K_gives_larger_x(self):
+        n, P = 1000, 10000
+        xs = [binomial_key_probability(n, K, P) for K in (40, 60, 80, 120)]
+        assert all(a < b for a, b in zip(xs, xs[1:]))
+
+
+class TestCoupledErProbability:
+    def test_eq72_leading_term(self):
+        x, P, q = 0.006, 10000, 2
+        assert coupled_er_probability(x, P, q) == pytest.approx(
+            (P * x * x) ** 2 / 2.0
+        )
+
+    def test_full_chain_below_true_t(self):
+        # z = y p must sit below t = s p (the coupling gives away edges).
+        from repro.probability.hypergeometric import overlap_survival
+
+        n, K, P, q, p = 1000, 80, 10000, 2, 0.5
+        z = coupled_er_probability_full(n, K, P, q, p)
+        t = overlap_survival(K, P, q) * p
+        assert 0 < z < t
+
+
+class TestRingTail:
+    def test_matches_scipy(self):
+        P, x, K = 10000, 0.006, 80
+        assert binomial_ring_tail_probability(P, x, K) == pytest.approx(
+            float(binom.sf(K, P, x)), rel=1e-8
+        )
+
+    def test_zero_x(self):
+        assert binomial_ring_tail_probability(100, 0.0, 5) == 0.0
+
+    def test_one_x(self):
+        assert binomial_ring_tail_probability(100, 1.0, 5) == 1.0
+        assert binomial_ring_tail_probability(100, 1.0, 100) == 0.0
+
+    def test_dense_branch_matches_scipy(self):
+        # K beyond half the pool exercises the direct tail branch.
+        P, x, K = 60, 0.9, 55
+        assert binomial_ring_tail_probability(P, x, K) == pytest.approx(
+            float(binom.sf(K, P, x)), rel=1e-8
+        )
+
+
+class TestCouplingSuccess:
+    def test_increases_toward_one_in_n(self):
+        # Larger n raises per-node failures but the Eq. 66 margin grows;
+        # with fixed (K, P) success probability should stay near 1 and
+        # the analytic formula must stay within [0, 1].
+        for n in (100, 300, 1000):
+            val = coupling_success_probability(n, 80, 10000)
+            assert 0.0 <= val <= 1.0
+
+    def test_paper_scale_close_to_one(self):
+        assert coupling_success_probability(1000, 80, 10000) > 0.99
+
+    def test_report_consistency(self):
+        rep = coupling_report(1000, 80, 10000, 2, 0.5)
+        assert rep["z"] == pytest.approx(rep["y"] * 0.5)
+        assert 0 <= rep["single_node_failure"] <= 1
+        assert rep["coupling_success"] == pytest.approx(
+            coupling_success_probability(1000, 80, 10000)
+        )

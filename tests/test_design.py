@@ -1,0 +1,185 @@
+"""Tests for the design guidelines (Eq. 9 and generalizations)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.design import (
+    PAPER_REPORTED_KSTAR,
+    design_network,
+    maximal_pool_size,
+    minimal_key_ring_size,
+    paper_kstar_table,
+    required_channel_probability,
+)
+from repro.exceptions import DesignError
+from repro.probability.hypergeometric import overlap_survival
+from repro.probability.limits import critical_edge_probability
+
+
+class TestPaperTable:
+    def test_exact_values_locked(self):
+        # Regression lock on the literal Eq. (9) hypergeometric values.
+        assert paper_kstar_table(method="exact") == [
+            (2, 1.0, 36),
+            (2, 0.5, 43),
+            (2, 0.2, 55),
+            (3, 1.0, 63),
+            (3, 0.5, 71),
+            (3, 0.2, 85),
+        ]
+
+    def test_asymptotic_values_locked(self):
+        assert paper_kstar_table(method="asymptotic") == [
+            (2, 1.0, 35),
+            (2, 0.5, 41),
+            (2, 0.2, 52),
+            (3, 1.0, 59),
+            (3, 0.5, 67),
+            (3, 0.2, 77),
+        ]
+
+    def test_asymptotic_matches_paper_within_one(self):
+        ours = paper_kstar_table(method="asymptotic")
+        matches = 0
+        for (q, p, k_ours), (q2, p2, k_paper) in zip(ours, PAPER_REPORTED_KSTAR):
+            assert (q, p) == (q2, p2)
+            assert abs(k_ours - k_paper) <= 1
+            matches += k_ours == k_paper
+        assert matches >= 4
+
+
+class TestMinimalKeyRingSize:
+    def test_definition_is_tight(self):
+        # K* clears the threshold, K* - 1 does not.
+        n, P, q, p = 1000, 10000, 2, 0.5
+        kstar = minimal_key_ring_size(n, P, q, p)
+        tau = critical_edge_probability(n, 1)
+        assert p * overlap_survival(kstar, P, q) > tau
+        assert p * overlap_survival(kstar - 1, P, q) <= tau
+
+    def test_monotone_in_q(self):
+        vals = [minimal_key_ring_size(1000, 10000, q, 1.0) for q in (1, 2, 3, 4)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_in_p(self):
+        vals = [
+            minimal_key_ring_size(1000, 10000, 2, p) for p in (1.0, 0.5, 0.2, 0.1)
+        ]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_in_k(self):
+        vals = [minimal_key_ring_size(1000, 10000, 2, 0.5, k=k) for k in (1, 2, 3)]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_target_probability_above_threshold(self):
+        base = minimal_key_ring_size(1000, 10000, 2, 0.5)
+        high = minimal_key_ring_size(1000, 10000, 2, 0.5, target_probability=0.99)
+        assert high > base
+
+    def test_infeasible_raises(self):
+        # p so small that even K = P fails.
+        with pytest.raises(DesignError):
+            minimal_key_ring_size(1000, 100, 1, 1e-6)
+
+    def test_bad_method_raises(self):
+        with pytest.raises(DesignError):
+            minimal_key_ring_size(1000, 10000, 2, 1.0, method="guess")
+
+    def test_target_probability_must_be_interior(self):
+        with pytest.raises(DesignError):
+            minimal_key_ring_size(1000, 10000, 2, 1.0, target_probability=1.0)
+
+
+class TestRequiredChannelProbability:
+    def test_roundtrip_with_kstar(self):
+        n, P, q = 1000, 10000, 2
+        kstar = minimal_key_ring_size(n, P, q, 0.5)
+        p_req = required_channel_probability(n, kstar, P, q)
+        # The ring that clears the threshold at p=0.5 needs p <= 0.5.
+        assert p_req <= 0.5
+
+    def test_too_small_ring_raises(self):
+        with pytest.raises(DesignError):
+            required_channel_probability(1000, 5, 10000, 2)
+
+    def test_probability_in_unit_interval(self):
+        p = required_channel_probability(1000, 60, 10000, 2)
+        assert 0 < p < 1
+
+
+class TestMaximalPoolSize:
+    def test_threshold_tight(self):
+        n, K, q, p = 1000, 60, 2, 1.0
+        pmax = maximal_pool_size(n, K, q, p)
+        tau = critical_edge_probability(n, 1)
+        assert p * overlap_survival(K, pmax, q) > tau
+        assert p * overlap_survival(K, pmax + 1, q) <= tau
+
+    def test_larger_ring_larger_pool(self):
+        a = maximal_pool_size(1000, 40, 2, 1.0)
+        b = maximal_pool_size(1000, 80, 2, 1.0)
+        assert b > a
+
+    def test_infeasible_raises(self):
+        # Unreachable threshold: K=1, q=1 at p tiny.
+        with pytest.raises(DesignError):
+            maximal_pool_size(1000, 1, 1, 1e-9)
+
+
+class TestMinimalNetworkSize:
+    def test_feasibility_upward_closed(self):
+        from repro.core.design import minimal_network_size
+        from repro.probability.limits import critical_edge_probability
+        from repro.probability.hypergeometric import overlap_survival
+
+        K, P, q, p = 40, 10000, 2, 1.0
+        n_min = minimal_network_size(K, P, q, p)
+        t = p * overlap_survival(K, P, q)
+        assert t > critical_edge_probability(n_min, 1)
+        if n_min > 3:
+            assert t <= critical_edge_probability(n_min - 1, 1)
+
+    def test_smaller_ring_needs_larger_network(self):
+        from repro.core.design import minimal_network_size
+
+        big = minimal_network_size(60, 10000, 2, 1.0)
+        small = minimal_network_size(40, 10000, 2, 1.0)
+        assert small >= big
+
+    def test_consistent_with_kstar(self):
+        # K*(n=1000) is by definition feasible at n = 1000, so the
+        # minimal supported size of that design is <= 1000.
+        from repro.core.design import minimal_network_size
+
+        kstar = minimal_key_ring_size(1000, 10000, 2, 0.5)
+        assert minimal_network_size(kstar, 10000, 2, 0.5) <= 1000
+
+    def test_infeasible_design_raises(self):
+        from repro.core.design import minimal_network_size
+
+        with pytest.raises(DesignError):
+            minimal_network_size(2, 10_000_000, 2, 1e-6, target_probability=0.99)
+
+
+class TestDesignNetwork:
+    def test_report_consistency(self):
+        rep = design_network(1000, 10000, 2, 0.5, k=2, target_probability=0.9)
+        assert rep.params.key_ring_size == minimal_key_ring_size(
+            1000, 10000, 2, 0.5, k=2, target_probability=0.9
+        )
+        # Rounding K up can only exceed the target.
+        assert rep.predicted_probability >= 0.9
+        assert rep.memory_per_node_bytes == rep.params.key_ring_size * 16
+
+    def test_to_dict(self):
+        d = design_network(1000, 10000, 2).to_dict()
+        assert "params" in d and "predicted_probability" in d
+
+    def test_threshold_design_near_inv_e(self):
+        # Designing at the bare threshold lands just above e^{-1}.
+        rep = design_network(1000, 10000, 2, 1.0)
+        assert rep.predicted_probability > math.exp(-1.0)
+        assert rep.predicted_probability < 0.7  # one integer step of slack

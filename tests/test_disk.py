@@ -1,0 +1,109 @@
+"""Tests for the disk (random geometric) channel model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channels.disk import DiskChannel, DiskRealization
+
+
+def _brute_force_edges(real: DiskRealization) -> set:
+    n = real.num_nodes
+    out = set()
+    for u in range(n):
+        for v in range(u + 1, n):
+            d = np.abs(real.positions[u] - real.positions[v])
+            if real.torus:
+                d = np.minimum(d, 1.0 - d)
+            if float(np.sqrt((d * d).sum())) <= real.radius:
+                out.add((u, v))
+    return out
+
+
+class TestDiskRealization:
+    def test_positions_in_unit_square(self):
+        real = DiskChannel(0.2).sample(50, seed=1)
+        assert real.positions.min() >= 0.0 and real.positions.max() <= 1.0
+
+    def test_edge_mask_matches_distances(self):
+        real = DiskChannel(0.3, torus=False).sample(30, seed=2)
+        edges = np.array([(u, v) for u in range(30) for v in range(u + 1, 30)])
+        mask = real.edge_mask(edges)
+        brute = _brute_force_edges(real)
+        got = {tuple(map(int, e)) for e, m in zip(edges, mask) if m}
+        assert got == brute
+
+    def test_channel_edges_grid_matches_bruteforce_square(self):
+        for seed in range(5):
+            real = DiskChannel(0.25, torus=False).sample(40, seed=seed)
+            got = {tuple(map(int, e)) for e in real.channel_edges()}
+            assert got == _brute_force_edges(real)
+
+    def test_channel_edges_grid_matches_bruteforce_torus(self):
+        for seed in range(5):
+            real = DiskChannel(0.25, torus=True).sample(40, seed=seed)
+            got = {tuple(map(int, e)) for e in real.channel_edges()}
+            assert got == _brute_force_edges(real)
+
+    def test_torus_wraps(self):
+        real = DiskChannel(0.2, torus=True).sample(2, seed=3)
+        real.positions[0] = (0.01, 0.5)
+        real.positions[1] = (0.99, 0.5)  # distance 0.02 on the torus
+        assert real.edge_mask(np.array([[0, 1]]))[0]
+
+    def test_square_does_not_wrap(self):
+        real = DiskChannel(0.2, torus=False).sample(2, seed=3)
+        real.positions[0] = (0.01, 0.5)
+        real.positions[1] = (0.99, 0.5)
+        assert not real.edge_mask(np.array([[0, 1]]))[0]
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            DiskChannel(0.0)
+        with pytest.raises(ValueError):
+            DiskChannel(2.0)
+
+
+class TestEdgeProbability:
+    def test_torus_closed_form(self):
+        chan = DiskChannel(0.2, torus=True)
+        assert chan.edge_probability() == pytest.approx(math.pi * 0.04)
+
+    def test_torus_monte_carlo(self):
+        chan = DiskChannel(0.15, torus=True)
+        rng = np.random.default_rng(4)
+        hits = 0
+        reps = 40000
+        a = rng.random((reps, 2))
+        b = rng.random((reps, 2))
+        d = np.abs(a - b)
+        d = np.minimum(d, 1 - d)
+        hits = (np.sqrt((d * d).sum(axis=1)) <= 0.15).sum()
+        assert hits / reps == pytest.approx(chan.edge_probability(), rel=0.05)
+
+    def test_square_monte_carlo(self):
+        chan = DiskChannel(0.3, torus=False)
+        rng = np.random.default_rng(5)
+        reps = 40000
+        a = rng.random((reps, 2))
+        b = rng.random((reps, 2))
+        d = np.sqrt(((a - b) ** 2).sum(axis=1))
+        emp = (d <= 0.3).mean()
+        assert emp == pytest.approx(chan.edge_probability(), rel=0.05)
+
+    def test_for_edge_probability_roundtrip_torus(self):
+        chan = DiskChannel.for_edge_probability(0.25, torus=True)
+        assert chan.edge_probability() == pytest.approx(0.25, rel=1e-9)
+
+    def test_for_edge_probability_roundtrip_square(self):
+        chan = DiskChannel.for_edge_probability(0.25, torus=False)
+        assert chan.edge_probability() == pytest.approx(0.25, rel=1e-6)
+
+    def test_for_edge_probability_rejects_extremes(self):
+        with pytest.raises(ValueError):
+            DiskChannel.for_edge_probability(0.0)
+        with pytest.raises(ValueError):
+            DiskChannel.for_edge_probability(1.0)

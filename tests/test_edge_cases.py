@@ -1,0 +1,100 @@
+"""Edge-case tests targeting less-traveled code paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import hypergeom
+
+from repro.channels.onoff import OnOffChannel
+from repro.keygraphs.schemes import QCompositeScheme
+from repro.probability.hypergeometric import (
+    log_overlap_survival,
+    overlap_pmf_vector,
+    overlap_survival,
+)
+from repro.wsn.failures import worst_case_failure_search
+from repro.wsn.network import SecureWSN
+
+
+class _PathScheme(QCompositeScheme):
+    """Deterministic rings that force a path topology under q = 2.
+
+    Ring i = {2i, 2i+1, 2i+2, 2i+3}: consecutive rings share exactly
+    two keys, rings two apart share none — so the q = 2 key graph is
+    the path graph, whose interior nodes are all cut vertices.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(key_ring_size=4, pool_size=2 * num_nodes + 4, q=2)
+
+    def assign_rings(self, num_nodes, seed=None):  # noqa: D102 - see class
+        return np.array(
+            [[2 * i, 2 * i + 1, 2 * i + 2, 2 * i + 3] for i in range(num_nodes)],
+            dtype=np.int64,
+        )
+
+
+class TestWorstCaseWitness:
+    def test_path_topology_has_single_node_witness(self):
+        n = 8
+        wsn = SecureWSN(n, _PathScheme(n), OnOffChannel(1.0), seed=1)
+        # Sanity: the crafted topology is the path graph.
+        expect = {(i, i + 1) for i in range(n - 1)}
+        assert {tuple(map(int, e)) for e in wsn.secure_edges()} == expect
+
+        survives, witness = worst_case_failure_search(wsn, 1)
+        assert not survives
+        assert len(witness) == 1
+        assert witness[0] not in (0, n - 1)  # an interior cut vertex
+
+    def test_random_probing_mode(self):
+        # Force the sampled (non-exhaustive) branch with a tiny budget.
+        n = 12
+        wsn = SecureWSN(n, _PathScheme(n), OnOffChannel(1.0), seed=2)
+        survives, witness = worst_case_failure_search(
+            wsn, 3, max_combinations=10, seed=3
+        )
+        # With a path graph, any sampled triple not made solely of the
+        # two endpoints disconnects; 10 random probes find one w.h.p.
+        assert not survives
+        assert len(witness) == 3
+
+
+class TestHypergeometricFallbacks:
+    def test_dense_rings_2k_exceeds_pool(self):
+        # 2K > P disables the recurrence; the log-space path must agree
+        # with scipy (support starts at 2K - P).
+        K, P = 8, 10
+        for q in (1, 5, 7, 8):
+            assert overlap_survival(K, P, q) == pytest.approx(
+                float(hypergeom.sf(q - 1, P, K, K)), rel=1e-9
+            )
+
+    def test_dense_rings_certain_overlap(self):
+        # Overlap is always >= 2K - P = 6, so q <= 6 gives probability 1.
+        assert overlap_survival(8, 10, 6) == pytest.approx(1.0)
+
+    def test_pmf_vector_dense_regime(self):
+        vec = overlap_pmf_vector(8, 10)
+        assert vec.sum() == pytest.approx(1.0, abs=1e-12)
+        assert vec[:6].sum() == pytest.approx(0.0, abs=1e-15)
+
+    def test_log_survival_dense_regime_finite(self):
+        val = log_overlap_survival(8, 10, 8)
+        expect = float(hypergeom.sf(7, 10, 8, 8))
+        assert np.exp(val) == pytest.approx(expect, rel=1e-9)
+
+    def test_extreme_underflow_regime(self):
+        # K²/P >> 700 underflows the recurrence's pmf(0); the log-space
+        # fallback must still return sane values.
+        val = overlap_survival(2000, 4000, 1)
+        assert val == pytest.approx(1.0)  # overlap >= 1 is near-certain
+
+    def test_scheme_with_dense_rings(self):
+        # End-to-end through the scheme layer in the 2K > P regime.
+        scheme = QCompositeScheme(8, 10, 6)
+        rings = scheme.assign_rings(6, seed=4)
+        edges = scheme.key_graph_edges(rings)
+        # Overlap >= 6 is certain: complete graph.
+        assert edges.shape[0] == 15

@@ -1,0 +1,84 @@
+"""Tests for edge connectivity λ(G) — the Whitney chain completion."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.edge_connectivity import (
+    edge_connectivity,
+    is_k_edge_connected,
+    local_edge_connectivity,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.vertex_connectivity import vertex_connectivity
+from tests.conftest import random_gnp_graph
+
+
+def _to_nx(g: Graph) -> nx.Graph:
+    ng = nx.Graph()
+    ng.add_nodes_from(range(g.num_nodes))
+    ng.add_edges_from(g.edges())
+    return ng
+
+
+class TestNamedGraphs:
+    def test_complete(self):
+        for n in (2, 4, 6):
+            assert edge_connectivity(Graph.complete(n)) == n - 1
+
+    def test_cycle_is_two(self):
+        assert edge_connectivity(Graph.cycle(6)) == 2
+
+    def test_path_is_one(self):
+        assert edge_connectivity(Graph.path(5)) == 1
+
+    def test_disconnected_zero(self):
+        assert edge_connectivity(Graph(4, [(0, 1), (2, 3)])) == 0
+
+    def test_single_node_zero(self):
+        assert edge_connectivity(Graph(1)) == 0
+
+    def test_bridge_graph(self, bowtie_graph):
+        # Bowtie has no bridge (two triangles at a cut vertex): λ = 2.
+        assert edge_connectivity(bowtie_graph) == 2
+
+
+class TestWhitneyChain:
+    def test_kappa_le_lambda_le_delta(self, rng):
+        for _ in range(40):
+            g = random_gnp_graph(int(rng.integers(3, 20)), float(rng.uniform(0.15, 0.6)), rng)
+            kappa = vertex_connectivity(g)
+            lam = edge_connectivity(g)
+            delta = int(g.degrees().min())
+            assert kappa <= lam <= delta
+
+
+class TestAgainstNetworkx:
+    def test_global_matches(self, rng):
+        for _ in range(40):
+            g = random_gnp_graph(int(rng.integers(3, 18)), float(rng.uniform(0.15, 0.6)), rng)
+            assert edge_connectivity(g) == nx.edge_connectivity(_to_nx(g))
+
+    def test_local_matches(self, rng):
+        for _ in range(20):
+            g = random_gnp_graph(int(rng.integers(4, 14)), 0.4, rng)
+            ng = _to_nx(g)
+            s, t = 0, g.num_nodes - 1
+            assert local_edge_connectivity(g, s, t) == nx.edge_connectivity(ng, s, t)
+
+
+class TestDecision:
+    def test_k_zero_vacuous(self):
+        assert is_k_edge_connected(Graph(3), 0)
+
+    def test_matches_exact_lambda(self, rng):
+        for _ in range(25):
+            g = random_gnp_graph(int(rng.integers(3, 15)), 0.35, rng)
+            lam = edge_connectivity(g)
+            for k in range(0, lam + 2):
+                assert is_k_edge_connected(g, k) == (lam >= k)
+
+    def test_same_node_raises(self):
+        with pytest.raises(ValueError):
+            local_edge_connectivity(Graph(3), 1, 1)

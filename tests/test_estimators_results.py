@@ -1,0 +1,115 @@
+"""Tests for estimators and result containers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.simulation.estimators import BernoulliEstimate, wilson_interval
+from repro.simulation.results import (
+    CurvePoint,
+    ExperimentResult,
+    load_result,
+    save_result,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low <= 0.3 <= high
+
+    @given(st.integers(1, 500).flatmap(
+        lambda n: st.tuples(st.integers(0, n), st.just(n))
+    ))
+    @settings(max_examples=100)
+    def test_property_valid_interval(self, sn):
+        s, n = sn
+        low, high = wilson_interval(s, n)
+        assert 0.0 <= low <= s / n <= high <= 1.0
+
+    def test_narrows_with_trials(self):
+        w1 = wilson_interval(5, 10)
+        w2 = wilson_interval(500, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_extreme_counts_nondegenerate(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and high > 0.0
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0 and low < 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            wilson_interval(5, 0)
+        with pytest.raises(SimulationError):
+            wilson_interval(11, 10)
+        with pytest.raises(SimulationError):
+            wilson_interval(5, 10, z=0.0)
+
+
+class TestBernoulliEstimate:
+    def test_from_counts(self):
+        est = BernoulliEstimate.from_counts(25, 100)
+        assert est.estimate == 0.25
+        assert est.ci_low < 0.25 < est.ci_high
+
+    def test_stderr(self):
+        est = BernoulliEstimate.from_counts(50, 100)
+        assert est.stderr() == pytest.approx(math.sqrt(0.25 / 100))
+
+    def test_contains(self):
+        est = BernoulliEstimate.from_counts(50, 100)
+        assert est.contains(0.5)
+        assert not est.contains(0.99)
+
+    def test_to_dict_roundtrip(self):
+        est = BernoulliEstimate.from_counts(7, 20)
+        assert BernoulliEstimate(**est.to_dict()) == est
+
+
+class TestResultContainers:
+    def _sample_result(self) -> ExperimentResult:
+        pts = [
+            CurvePoint(
+                point={"K": 30.0},
+                estimate=BernoulliEstimate.from_counts(3, 10),
+                prediction=0.25,
+            ),
+            CurvePoint(
+                point={"K": 40.0},
+                estimate=BernoulliEstimate.from_counts(9, 10),
+                prediction=0.95,
+            ),
+        ]
+        return ExperimentResult(name="demo", config={"trials": 10}, points=pts)
+
+    def test_gap(self):
+        result = self._sample_result()
+        assert result.points[0].gap() == pytest.approx(0.05)
+
+    def test_gap_none_without_prediction(self):
+        pt = CurvePoint(point={}, estimate=BernoulliEstimate.from_counts(1, 2))
+        assert pt.gap() is None
+
+    def test_max_abs_gap(self):
+        assert self._sample_result().max_abs_gap() == pytest.approx(0.05)
+
+    def test_json_roundtrip(self, tmp_path):
+        result = self._sample_result()
+        path = tmp_path / "out" / "demo.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded == result
+
+    def test_loaded_types(self, tmp_path):
+        result = self._sample_result()
+        path = tmp_path / "demo.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert isinstance(loaded.points[0].estimate, BernoulliEstimate)
+        assert loaded.config["trials"] == 10

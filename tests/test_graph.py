@@ -1,0 +1,113 @@
+"""Tests for the Graph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_from_edge_iterable(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+
+    def test_from_edge_array(self):
+        arr = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        g = Graph.from_edge_array(3, arr)
+        assert g.num_edges == 2
+
+    def test_from_empty_edge_array(self):
+        g = Graph.from_edge_array(3, np.empty((0, 2), dtype=np.int64))
+        assert g.num_edges == 0
+
+    def test_bad_array_shape_raises(self):
+        with pytest.raises(GraphError):
+            Graph.from_edge_array(3, np.array([[0, 1, 2]]))
+
+    def test_complete(self):
+        g = Graph.complete(5)
+        assert g.num_edges == 10
+        assert all(g.degree(u) == 4 for u in range(5))
+
+    def test_cycle(self):
+        g = Graph.cycle(6)
+        assert g.num_edges == 6
+        assert all(g.degree(u) == 2 for u in range(6))
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(GraphError):
+            Graph.cycle(2)
+
+    def test_path(self):
+        g = Graph.path(4)
+        assert g.num_edges == 3
+        assert g.degree(0) == 1 and g.degree(1) == 2
+
+
+class TestEdges:
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 3)
+
+    def test_edges_canonical_sorted(self):
+        g = Graph(4, [(3, 1), (2, 0), (1, 0)])
+        assert list(g.edges()) == [(0, 1), (0, 2), (1, 3)]
+
+    def test_edge_set_and_contains(self):
+        g = Graph(3, [(0, 2)])
+        assert (2, 0) in g
+        assert (0, 1) not in g
+        assert g.edge_set() == {(0, 2)}
+
+    def test_to_edge_array_roundtrip(self):
+        g = Graph(5, [(0, 4), (1, 2), (2, 3)])
+        arr = g.to_edge_array()
+        g2 = Graph.from_edge_array(5, arr)
+        assert g2.edge_set() == g.edge_set()
+
+    def test_to_edge_array_empty(self):
+        assert Graph(3).to_edge_array().shape == (0, 2)
+
+
+class TestQueries:
+    def test_neighbors_frozen(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        n = g.neighbors(0)
+        assert n == frozenset({1, 2})
+        with pytest.raises(AttributeError):
+            n.add(5)  # type: ignore[attr-defined]
+
+    def test_degrees_vector(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees().tolist() == [3, 1, 1, 1]
+
+    def test_subgraph_without_node(self):
+        g = Graph.complete(4)
+        sub = g.subgraph_without_node(0)
+        assert sub.num_nodes == 4  # node kept, isolated
+        assert sub.degree(0) == 0
+        assert sub.num_edges == 3  # triangle on {1,2,3}
+
+    def test_query_bad_node_raises(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.degree(5)

@@ -1,0 +1,148 @@
+"""Tests for the overlap (hypergeometric) distribution — Eqs. (3)-(4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import hypergeom
+
+from repro.exceptions import ParameterError
+from repro.probability.hypergeometric import (
+    log_overlap_survival,
+    no_overlap_probability,
+    overlap_cdf,
+    overlap_mean,
+    overlap_pmf,
+    overlap_pmf_vector,
+    overlap_survival,
+)
+
+
+class TestOverlapPmf:
+    def test_sums_to_one_small(self):
+        assert overlap_pmf_vector(8, 30).sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_sums_to_one_paper_scale(self):
+        assert overlap_pmf_vector(88, 10000).sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_matches_scipy_pointwise(self):
+        K, P = 35, 10000
+        for u in range(0, 8):
+            assert overlap_pmf(K, P, u) == pytest.approx(
+                float(hypergeom.pmf(u, P, K, K)), rel=1e-9
+            )
+
+    def test_impossible_overlap_zero(self):
+        # K=5, P=8: overlap at least 2K - P = 2.
+        assert overlap_pmf(5, 8, 1) == 0.0
+        assert overlap_pmf(5, 8, 0) == 0.0
+        assert overlap_pmf(5, 8, 2) > 0.0
+
+    def test_full_pool_overlap_deterministic(self):
+        # K = P: rings are the whole pool, overlap is exactly K.
+        assert overlap_pmf(6, 6, 6) == pytest.approx(1.0)
+        assert overlap_pmf(6, 6, 3) == 0.0
+
+    @given(
+        st.integers(2, 40).flatmap(
+            lambda k: st.tuples(st.just(k), st.integers(2 * k, 400))
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_scipy(self, kp):
+        k, p = kp
+        u = k // 2
+        assert overlap_pmf(k, p, u) == pytest.approx(
+            float(hypergeom.pmf(u, p, k, k)), rel=1e-8, abs=1e-12
+        )
+
+
+class TestOverlapSurvival:
+    def test_q1_complement_of_no_overlap(self):
+        K, P = 30, 1000
+        assert overlap_survival(K, P, 1) == pytest.approx(
+            1.0 - no_overlap_probability(K, P), rel=1e-12
+        )
+
+    def test_matches_scipy_sf(self):
+        for K, P, q in [(35, 10000, 2), (60, 10000, 3), (20, 500, 4), (10, 50, 2)]:
+            assert overlap_survival(K, P, q) == pytest.approx(
+                float(hypergeom.sf(q - 1, P, K, K)), rel=1e-9
+            )
+
+    def test_monotone_decreasing_in_q(self):
+        K, P = 40, 2000
+        values = [overlap_survival(K, P, q) for q in range(1, 10)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_increasing_in_K(self):
+        P, q = 5000, 2
+        values = [overlap_survival(K, P, q) for K in range(5, 80, 5)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_decreasing_in_P(self):
+        K, q = 30, 2
+        values = [overlap_survival(K, P, q) for P in (100, 500, 2000, 10000)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_q_equals_K(self):
+        # P(overlap >= K) = P(identical rings) = 1 / C(P, K).
+        K, P = 3, 12
+        assert overlap_survival(K, P, K) == pytest.approx(
+            1.0 / math.comb(P, K), rel=1e-12
+        )
+
+    def test_direct_and_complement_branches_agree(self):
+        # q near K/2 exercises both code paths; compare with scipy.
+        K, P = 16, 200
+        for q in range(1, K + 1):
+            assert overlap_survival(K, P, q) == pytest.approx(
+                float(hypergeom.sf(q - 1, P, K, K)), rel=1e-8, abs=1e-15
+            )
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ParameterError):
+            overlap_survival(10, 100, 11)
+
+    def test_log_survival_underflow_guard(self):
+        val = log_overlap_survival(4, 10_000_000, 4)
+        assert val < -50  # tiny but finite in log space
+        assert math.isfinite(val)
+
+
+class TestOverlapMoments:
+    def test_mean_formula(self):
+        assert overlap_mean(30, 900) == pytest.approx(1.0)
+
+    def test_mean_matches_scipy(self):
+        K, P = 45, 10000
+        assert overlap_mean(K, P) == pytest.approx(
+            float(hypergeom.mean(P, K, K)), rel=1e-12
+        )
+
+    def test_cdf_complements_survival(self):
+        K, P = 25, 800
+        for u in range(0, K):
+            assert overlap_cdf(K, P, u) + overlap_survival(K, P, u + 1) == (
+                pytest.approx(1.0, abs=1e-10)
+            )
+
+    def test_cdf_at_K_is_one(self):
+        assert overlap_cdf(12, 100, 12) == 1.0
+
+    def test_empirical_overlap_distribution(self, rng):
+        # Monte Carlo sanity: sample rings, measure overlap frequencies.
+        K, P, trials = 10, 60, 4000
+        counts = np.zeros(K + 1)
+        for _ in range(trials):
+            a = rng.choice(P, size=K, replace=False)
+            b = rng.choice(P, size=K, replace=False)
+            counts[len(np.intersect1d(a, b))] += 1
+        emp = counts / trials
+        ref = overlap_pmf_vector(K, P)
+        # Allow generous Monte Carlo tolerance.
+        assert np.abs(emp - ref).max() < 0.03

@@ -1,0 +1,119 @@
+"""Tests for the limit law and α transforms (Eqs. 6-8, Lemma 7 form)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.probability.limits import (
+    alpha_from_edge_probability,
+    critical_edge_probability,
+    edge_probability_from_alpha,
+    limit_probability,
+    limit_probability_inverse,
+)
+
+
+class TestLimitProbability:
+    def test_alpha_zero_k1_is_inv_e(self):
+        assert limit_probability(0.0, 1) == pytest.approx(math.exp(-1.0))
+
+    def test_k1_is_gumbel_cdf(self):
+        for alpha in (-2.0, -0.5, 0.0, 1.3, 4.0):
+            assert limit_probability(alpha, 1) == pytest.approx(
+                math.exp(-math.exp(-alpha))
+            )
+
+    def test_factorial_scaling_k3(self):
+        alpha = 0.7
+        assert limit_probability(alpha, 3) == pytest.approx(
+            math.exp(-math.exp(-alpha) / 2.0)
+        )
+
+    def test_plus_infinity(self):
+        assert limit_probability(float("inf"), 2) == 1.0
+
+    def test_minus_infinity(self):
+        assert limit_probability(float("-inf"), 2) == 0.0
+
+    def test_very_negative_alpha_underflows_to_zero(self):
+        assert limit_probability(-800.0, 1) == 0.0
+
+    def test_monotone_increasing_in_alpha(self):
+        vals = [limit_probability(a, 2) for a in (-3, -1, 0, 1, 3, 6)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_increasing_in_k(self):
+        # Larger k shrinks the failure rate e^{-a}/(k-1)!.
+        for alpha in (-1.0, 0.0, 2.0):
+            vals = [limit_probability(alpha, k) for k in (1, 2, 3, 4)]
+            assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ParameterError):
+            limit_probability(float("nan"), 1)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ParameterError):
+            limit_probability(0.0, 0)
+
+
+class TestLimitInverse:
+    @given(st.floats(-5.0, 8.0), st.integers(1, 5))
+    @settings(max_examples=150)
+    def test_roundtrip(self, alpha, k):
+        prob = limit_probability(alpha, k)
+        if 0.0 < prob < 1.0:
+            assert limit_probability_inverse(prob, k) == pytest.approx(
+                alpha, rel=1e-8, abs=1e-8
+            )
+
+    def test_endpoints(self):
+        assert limit_probability_inverse(0.0, 1) == float("-inf")
+        assert limit_probability_inverse(1.0, 1) == float("inf")
+
+    def test_known_value(self):
+        # P = e^{-1} corresponds to alpha = 0 for k = 1.
+        assert limit_probability_inverse(math.exp(-1.0), 1) == pytest.approx(0.0)
+
+
+class TestAlphaTransforms:
+    @given(
+        st.integers(10, 100000),
+        st.floats(-3.0, 10.0),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=150)
+    def test_roundtrip(self, n, alpha, k):
+        try:
+            t = edge_probability_from_alpha(alpha, n, k)
+        except ParameterError:
+            return  # infeasible (t outside [0,1]) — nothing to roundtrip
+        assert alpha_from_edge_probability(t, n, k) == pytest.approx(
+            alpha, rel=1e-9, abs=1e-7
+        )
+
+    def test_critical_is_alpha_zero(self):
+        n = 1000
+        t = critical_edge_probability(n, 1)
+        assert t == pytest.approx(math.log(n) / n)
+        assert alpha_from_edge_probability(t, n, 1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_critical_k2_includes_loglog(self):
+        n = 1000
+        assert critical_edge_probability(n, 2) == pytest.approx(
+            (math.log(n) + math.log(math.log(n))) / n
+        )
+
+    def test_infeasible_alpha_raises(self):
+        # alpha so large that t > 1 at tiny n.
+        with pytest.raises(ParameterError):
+            edge_probability_from_alpha(100.0, 10, 1)
+
+    def test_k_greater_one_needs_n_over_two(self):
+        with pytest.raises(ParameterError):
+            edge_probability_from_alpha(0.0, 2, 2)

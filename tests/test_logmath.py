@@ -1,0 +1,156 @@
+"""Unit and property tests for repro.utils.logmath."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.logmath import (
+    log1mexp,
+    log_binomial,
+    log_binomial_array,
+    log_factorial,
+    log_falling_factorial,
+    logsumexp,
+    stable_sum,
+)
+
+
+class TestLogFactorial:
+    def test_zero(self):
+        assert log_factorial(0) == pytest.approx(0.0)
+
+    def test_small_values_exact(self):
+        for n in range(1, 15):
+            assert log_factorial(n) == pytest.approx(math.log(math.factorial(n)))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            log_factorial(-1)
+
+
+class TestLogBinomial:
+    def test_matches_math_comb_small(self):
+        for n in range(0, 25):
+            for k in range(0, n + 1):
+                assert log_binomial(n, k) == pytest.approx(
+                    math.log(math.comb(n, k)), abs=1e-10
+                )
+
+    def test_out_of_range_is_neg_inf(self):
+        assert log_binomial(5, 6) == float("-inf")
+        assert log_binomial(5, -1) == float("-inf")
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            log_binomial(-1, 0)
+
+    def test_huge_coefficient_finite(self):
+        # C(10000, 88) overflows float64 but its log must be finite.
+        val = log_binomial(10000, 88)
+        assert math.isfinite(val)
+        assert val > 500  # ballpark magnitude check
+
+    @given(st.integers(0, 300), st.integers(0, 300))
+    def test_symmetry(self, n, k):
+        assert log_binomial(n, k) == pytest.approx(
+            log_binomial(n, n - k) if 0 <= k <= n else float("-inf"), abs=1e-9
+        )
+
+    def test_array_matches_scalar(self):
+        ks = np.arange(-2, 12)
+        arr = log_binomial_array(10, ks)
+        for k, v in zip(ks, arr):
+            assert v == pytest.approx(log_binomial(10, int(k)), abs=1e-12) or (
+                v == float("-inf") and log_binomial(10, int(k)) == float("-inf")
+            )
+
+
+class TestLogsumexp:
+    def test_empty(self):
+        assert logsumexp([]) == float("-inf")
+
+    def test_all_neg_inf(self):
+        assert logsumexp([float("-inf"), float("-inf")]) == float("-inf")
+
+    def test_single_value(self):
+        assert logsumexp([-3.2]) == pytest.approx(-3.2)
+
+    def test_matches_direct_small(self):
+        vals = [-1.0, -2.0, -3.0]
+        direct = math.log(sum(math.exp(v) for v in vals))
+        assert logsumexp(vals) == pytest.approx(direct)
+
+    def test_extreme_spread_no_overflow(self):
+        assert logsumexp([1000.0, -1000.0]) == pytest.approx(1000.0)
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_property_vs_numpy(self, vals):
+        ours = logsumexp(vals)
+        arr = np.array(vals)
+        reference = arr.max() + math.log(np.exp(arr - arr.max()).sum())
+        assert ours == pytest.approx(reference, rel=1e-10, abs=1e-10)
+
+
+class TestLog1mexp:
+    def test_zero_gives_neg_inf(self):
+        assert log1mexp(0.0) == float("-inf")
+
+    def test_neg_inf_gives_zero(self):
+        assert log1mexp(float("-inf")) == 0.0
+
+    def test_positive_raises(self):
+        with pytest.raises(ValueError):
+            log1mexp(0.1)
+
+    @given(st.floats(-50.0, -1e-8))
+    @settings(max_examples=200)
+    def test_identity(self, lp):
+        # exp(log1mexp(lp)) == 1 - exp(lp)
+        assert math.exp(log1mexp(lp)) == pytest.approx(
+            1.0 - math.exp(lp), rel=1e-9, abs=1e-12
+        )
+
+    def test_both_branches_agree_near_threshold(self):
+        near = -math.log(2.0)
+        for eps in (-1e-6, 0.0, 1e-6):
+            lp = near + eps
+            assert math.exp(log1mexp(lp)) == pytest.approx(
+                1.0 - math.exp(lp), rel=1e-10
+            )
+
+
+class TestLogFallingFactorial:
+    def test_k_zero(self):
+        assert log_falling_factorial(10, 0) == 0.0
+
+    def test_matches_direct(self):
+        # 10 * 9 * 8
+        assert log_falling_factorial(10, 3) == pytest.approx(math.log(720))
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            log_falling_factorial(5, -1)
+
+    def test_n_too_small_raises(self):
+        with pytest.raises(ValueError):
+            log_falling_factorial(1, 3)
+
+
+class TestStableSum:
+    def test_empty(self):
+        assert stable_sum([]) == 0.0
+
+    def test_compensation_beats_naive(self):
+        # 1 + 1e-16 * 1e6 accumulated: naive sum loses the small terms.
+        vals = [1.0] + [1e-16] * 1_000_000
+        assert stable_sum(vals) == pytest.approx(1.0 + 1e-10, rel=1e-6)
+
+    @given(st.lists(st.floats(-1e6, 1e6), max_size=50))
+    def test_matches_fsum(self, vals):
+        assert stable_sum(vals) == pytest.approx(math.fsum(vals), rel=1e-12, abs=1e-9)

@@ -1,0 +1,133 @@
+"""Tests for the Dinic max-flow implementation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.maxflow import FlowNetwork
+
+
+class TestBasics:
+    def test_single_arc(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 3)
+        assert net.max_flow(0, 1) == 3
+
+    def test_no_path(self):
+        net = FlowNetwork(3)
+        net.add_arc(0, 1, 5)
+        assert net.max_flow(0, 2) == 0
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_arc(0, 1, 5)
+        net.add_arc(1, 2, 2)
+        assert net.max_flow(0, 2) == 2
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_arc(0, 1, 1)
+        net.add_arc(1, 3, 1)
+        net.add_arc(0, 2, 1)
+        net.add_arc(2, 3, 1)
+        assert net.max_flow(0, 3) == 2
+
+    def test_classic_residual_case(self):
+        # Requires pushing flow back along the diagonal arc.
+        net = FlowNetwork(4)
+        net.add_arc(0, 1, 1)
+        net.add_arc(0, 2, 1)
+        net.add_arc(1, 2, 1)
+        net.add_arc(1, 3, 1)
+        net.add_arc(2, 3, 1)
+        assert net.max_flow(0, 3) == 2
+
+    def test_limit_truncates(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 10)
+        assert net.max_flow(0, 1, limit=4) == 4
+
+    def test_limit_zero(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 10)
+        assert net.max_flow(0, 1, limit=0) == 0
+
+    def test_same_source_sink_raises(self):
+        net = FlowNetwork(2)
+        with pytest.raises(GraphError):
+            net.max_flow(1, 1)
+
+    def test_invalid_nodes_raise(self):
+        net = FlowNetwork(2)
+        with pytest.raises(GraphError):
+            net.max_flow(0, 5)
+        with pytest.raises(GraphError):
+            net.add_arc(0, 9, 1)
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(GraphError):
+            net.add_arc(0, 1, -1)
+
+
+class TestAgainstNetworkx:
+    def _random_digraph(self, rng, n, arcs, max_cap):
+        edges = []
+        for _ in range(arcs):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u != v:
+                edges.append((u, v, int(rng.integers(1, max_cap + 1))))
+        return edges
+
+    def test_random_unit_capacity(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(4, 15))
+            edges = self._random_digraph(rng, n, n * 3, 1)
+            net = FlowNetwork(n)
+            ng = nx.DiGraph()
+            ng.add_nodes_from(range(n))
+            for u, v, c in edges:
+                net.add_arc(u, v, c)
+                if ng.has_edge(u, v):
+                    ng[u][v]["capacity"] += c
+                else:
+                    ng.add_edge(u, v, capacity=c)
+            s, t = 0, n - 1
+            assert net.max_flow(s, t) == nx.maximum_flow_value(ng, s, t)
+
+    def test_random_general_capacity(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(4, 12))
+            edges = self._random_digraph(rng, n, n * 4, 7)
+            net = FlowNetwork(n)
+            ng = nx.DiGraph()
+            ng.add_nodes_from(range(n))
+            for u, v, c in edges:
+                net.add_arc(u, v, c)
+                if ng.has_edge(u, v):
+                    ng[u][v]["capacity"] += c
+                else:
+                    ng.add_edge(u, v, capacity=c)
+            s, t = 0, n - 1
+            assert net.max_flow(s, t) == nx.maximum_flow_value(ng, s, t)
+
+    def test_limit_never_exceeds_true_flow(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(4, 12))
+            edges = self._random_digraph(rng, n, n * 3, 5)
+            ng = nx.DiGraph()
+            ng.add_nodes_from(range(n))
+            full = FlowNetwork(n)
+            limited = FlowNetwork(n)
+            for u, v, c in edges:
+                full.add_arc(u, v, c)
+                limited.add_arc(u, v, c)
+                if ng.has_edge(u, v):
+                    ng[u][v]["capacity"] += c
+                else:
+                    ng.add_edge(u, v, capacity=c)
+            true_flow = nx.maximum_flow_value(ng, 0, n - 1)
+            assert full.max_flow(0, n - 1) == true_flow
+            assert limited.max_flow(0, n - 1, limit=2) == min(2, true_flow)

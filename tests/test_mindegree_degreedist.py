@@ -1,0 +1,137 @@
+"""Tests for Lemma 8 (min degree) and Lemma 9 (degree counts) theory."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.degree_distribution import (
+    degree_count_distribution,
+    degree_histogram_prediction,
+    expected_degree_count,
+    isolated_node_lambda,
+    lambda_nh,
+    lambda_nh_exact,
+)
+from repro.core.mindegree import (
+    min_degree_probability_limit,
+    min_degree_probability_poisson,
+)
+from repro.core.scaling import channel_prob_for_alpha
+from repro.params import QCompositeParams
+from repro.probability.limits import limit_probability
+
+
+def params_at_alpha(alpha: float, n: int = 1000, K: int = 60, P: int = 10000, q: int = 2, k: int = 1):
+    p = channel_prob_for_alpha(n, K, P, q, alpha, k)
+    return QCompositeParams(
+        num_nodes=n, key_ring_size=K, pool_size=P, overlap=q, channel_prob=p
+    )
+
+
+class TestLambda:
+    def test_poissonized_formula(self):
+        n, t, h = 1000, 0.007, 2
+        expect = n * (n * t) ** h * math.exp(-n * t) / math.factorial(h)
+        assert lambda_nh(n, t, h) == pytest.approx(expect)
+
+    def test_exact_binomial_formula(self):
+        n, t, h = 50, 0.1, 3
+        expect = n * math.comb(n - 1, h) * t**h * (1 - t) ** (n - 1 - h)
+        assert lambda_nh_exact(n, t, h) == pytest.approx(expect)
+
+    def test_zero_edge_probability(self):
+        assert lambda_nh(100, 0.0, 0) == 100.0
+        assert lambda_nh(100, 0.0, 2) == 0.0
+        assert lambda_nh_exact(100, 0.0, 0) == 100.0
+
+    def test_edge_probability_one(self):
+        assert lambda_nh_exact(10, 1.0, 9) == 10.0
+        assert lambda_nh_exact(10, 1.0, 3) == 0.0
+
+    def test_h_beyond_n_is_zero(self):
+        assert lambda_nh_exact(5, 0.5, 7) == 0.0
+
+    def test_poissonized_approx_exact_at_scale(self):
+        # At n = 10^4 and t ~ ln n / n the two forms nearly agree.
+        n = 10000
+        t = math.log(n) / n
+        for h in (0, 1, 2):
+            assert lambda_nh(n, t, h) == pytest.approx(
+                lambda_nh_exact(n, t, h), rel=0.02
+            )
+
+    def test_exact_sums_to_n(self):
+        # Summing expected counts over all degrees gives n exactly.
+        n, t = 30, 0.2
+        total = sum(lambda_nh_exact(n, t, h) for h in range(n))
+        assert total == pytest.approx(n, rel=1e-9)
+
+
+class TestExpectedCounts:
+    def test_expected_degree_count_uses_params(self, figure1_params):
+        t = figure1_params.edge_probability()
+        assert expected_degree_count(figure1_params, 1) == pytest.approx(
+            lambda_nh(1000, t, 1)
+        )
+
+    def test_isolated_lambda(self, figure1_params):
+        assert isolated_node_lambda(figure1_params) == pytest.approx(
+            expected_degree_count(figure1_params, 0)
+        )
+
+    def test_distribution_normalized(self, figure1_params):
+        pmf = degree_count_distribution(figure1_params, 0, 200)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_histogram_prediction_keys(self, figure1_params):
+        pred = degree_histogram_prediction(figure1_params, [0, 1, 2])
+        assert set(pred) == {0, 1, 2}
+        assert all(v >= 0 for v in pred.values())
+
+
+class TestMinDegreeLaws:
+    def test_limit_matches_formula(self):
+        params = params_at_alpha(1.0, k=2)
+        assert min_degree_probability_limit(params, 2) == pytest.approx(
+            limit_probability(1.0, 2), abs=1e-9
+        )
+
+    def test_poisson_refinement_in_unit_interval(self):
+        for alpha in (-2.0, 0.0, 3.0):
+            params = params_at_alpha(alpha)
+            v = min_degree_probability_poisson(params, 1)
+            assert 0.0 <= v <= 1.0
+
+    def test_poisson_converges_to_limit(self):
+        # At fixed alpha, the refinement approaches the limit as n grows.
+        gaps = []
+        for n in (200, 2000, 20000):
+            K = 60
+            p = channel_prob_for_alpha(n, K, 10000, 2, 0.5, 1)
+            params = QCompositeParams(
+                num_nodes=n, key_ring_size=K, pool_size=10000, overlap=2,
+                channel_prob=p,
+            )
+            gaps.append(
+                abs(
+                    min_degree_probability_poisson(params, 1)
+                    - min_degree_probability_limit(params, 1)
+                )
+            )
+        assert gaps[0] > gaps[-1]
+        assert gaps[-1] < 0.01
+
+    def test_poisson_monotone_in_alpha(self):
+        vals = [
+            min_degree_probability_poisson(params_at_alpha(a), 1)
+            for a in (-2.0, 0.0, 2.0, 4.0)
+        ]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_higher_k_smaller_probability(self):
+        params = params_at_alpha(1.0)
+        v1 = min_degree_probability_poisson(params, 1)
+        v3 = min_degree_probability_poisson(params, 3)
+        assert v3 < v1

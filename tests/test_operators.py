@@ -1,0 +1,120 @@
+"""Tests for graph composition operators (Eq. 1 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.operators import (
+    decode_edges,
+    encode_edges,
+    intersect_edge_arrays,
+    intersection,
+    is_spanning_subgraph,
+    union,
+)
+from tests.conftest import random_gnp_graph
+
+
+class TestIntersection:
+    def test_empty_intersection(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 2)])
+        assert intersection(a, b).num_edges == 0
+
+    def test_common_edges_survive(self):
+        a = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        b = Graph(4, [(1, 2), (2, 3), (0, 3)])
+        out = intersection(a, b)
+        assert out.edge_set() == {(1, 2), (2, 3)}
+
+    def test_node_count_mismatch_raises(self):
+        with pytest.raises(GraphError):
+            intersection(Graph(3), Graph(4))
+
+    def test_set_semantics_on_random(self, rng):
+        for _ in range(20):
+            a = random_gnp_graph(15, 0.3, rng)
+            b = random_gnp_graph(15, 0.3, rng)
+            out = intersection(a, b)
+            assert out.edge_set() == a.edge_set() & b.edge_set()
+
+    def test_commutative(self, rng):
+        a = random_gnp_graph(12, 0.4, rng)
+        b = random_gnp_graph(12, 0.4, rng)
+        assert intersection(a, b).edge_set() == intersection(b, a).edge_set()
+
+
+class TestUnion:
+    def test_set_semantics_on_random(self, rng):
+        for _ in range(20):
+            a = random_gnp_graph(15, 0.2, rng)
+            b = random_gnp_graph(15, 0.2, rng)
+            assert union(a, b).edge_set() == a.edge_set() | b.edge_set()
+
+    def test_intersection_subgraph_of_union(self, rng):
+        a = random_gnp_graph(10, 0.3, rng)
+        b = random_gnp_graph(10, 0.3, rng)
+        assert is_spanning_subgraph(intersection(a, b), union(a, b))
+
+
+class TestSpanningSubgraph:
+    def test_reflexive(self, rng):
+        g = random_gnp_graph(10, 0.3, rng)
+        assert is_spanning_subgraph(g, g)
+
+    def test_intersection_is_subgraph_of_both(self, rng):
+        a = random_gnp_graph(10, 0.4, rng)
+        b = random_gnp_graph(10, 0.4, rng)
+        inter = intersection(a, b)
+        assert is_spanning_subgraph(inter, a)
+        assert is_spanning_subgraph(inter, b)
+
+    def test_extra_edge_fails(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(0, 1)])
+        assert not is_spanning_subgraph(a, b)
+        assert is_spanning_subgraph(b, a)
+
+
+class TestEncoding:
+    @given(
+        st.integers(2, 1000),
+        st.lists(st.tuples(st.integers(0, 999), st.integers(0, 999)), max_size=30),
+    )
+    @settings(max_examples=80)
+    def test_roundtrip(self, n, pairs):
+        pairs = [(u % n, v % n) for u, v in pairs if u % n != v % n]
+        if not pairs:
+            return
+        arr = np.array([(min(u, v), max(u, v)) for u, v in pairs], dtype=np.int64)
+        keys = encode_edges(n, arr)
+        back = decode_edges(n, keys)
+        assert np.array_equal(back, arr)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            encode_edges(5, np.array([[2, 2]]))
+
+    def test_orientation_canonicalized(self):
+        n = 10
+        a = encode_edges(n, np.array([[3, 7]]))
+        b = encode_edges(n, np.array([[7, 3]]))
+        assert np.array_equal(a, b)
+
+    def test_intersect_edge_arrays_matches_graph_op(self, rng):
+        n = 20
+        a = random_gnp_graph(n, 0.3, rng)
+        b = random_gnp_graph(n, 0.3, rng)
+        arr = intersect_edge_arrays(n, a.to_edge_array(), b.to_edge_array())
+        got = {tuple(map(int, row)) for row in arr}
+        assert got == a.edge_set() & b.edge_set()
+
+    def test_empty_arrays(self):
+        empty = np.empty((0, 2), dtype=np.int64)
+        out = intersect_edge_arrays(5, empty, empty)
+        assert out.shape == (0, 2)

@@ -1,0 +1,77 @@
+"""Tests for QCompositeParams."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.params import QCompositeParams
+from repro.probability.hypergeometric import overlap_survival
+
+
+class TestConstruction:
+    def test_valid(self, small_params):
+        assert small_params.num_nodes == 50
+
+    def test_frozen(self, small_params):
+        with pytest.raises(Exception):
+            small_params.num_nodes = 99  # type: ignore[misc]
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ParameterError):
+            QCompositeParams(num_nodes=1, key_ring_size=2, pool_size=10)
+
+    def test_ring_pool_validation(self):
+        with pytest.raises(ParameterError):
+            QCompositeParams(num_nodes=10, key_ring_size=20, pool_size=10)
+
+    def test_channel_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            QCompositeParams(
+                num_nodes=10, key_ring_size=2, pool_size=10, channel_prob=0.0
+            )
+
+    def test_with_updates(self, small_params):
+        bigger = small_params.with_updates(num_nodes=100)
+        assert bigger.num_nodes == 100
+        assert small_params.num_nodes == 50
+
+    def test_with_updates_validates(self, small_params):
+        with pytest.raises(ParameterError):
+            small_params.with_updates(key_ring_size=10_000)
+
+    def test_to_dict(self, small_params):
+        d = small_params.to_dict()
+        assert d["overlap"] == 2 and d["channel_prob"] == 0.7
+
+    def test_describe(self, small_params):
+        text = small_params.describe()
+        assert "n=50" in text and "q=2" in text
+
+
+class TestDerived:
+    def test_key_edge_probability(self, small_params):
+        assert small_params.key_edge_probability() == pytest.approx(
+            overlap_survival(20, 500, 2)
+        )
+
+    def test_edge_probability_scales_by_p(self, small_params):
+        assert small_params.edge_probability() == pytest.approx(
+            0.7 * small_params.key_edge_probability()
+        )
+
+    def test_mean_degree(self, small_params):
+        assert small_params.mean_degree() == pytest.approx(
+            49 * small_params.edge_probability()
+        )
+
+    def test_alpha_k1(self, figure1_params):
+        t = figure1_params.edge_probability()
+        expect = 1000 * t - math.log(1000)
+        assert figure1_params.alpha(1) == pytest.approx(expect)
+
+    def test_alpha_k2_subtracts_loglog(self, figure1_params):
+        diff = figure1_params.alpha(1) - figure1_params.alpha(2)
+        assert diff == pytest.approx(math.log(math.log(1000)))

@@ -1,0 +1,90 @@
+"""Tests for Poisson helpers (Lemma 9 support)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import poisson as scipy_poisson
+
+from repro.exceptions import ParameterError
+from repro.probability.poisson import (
+    poisson_cdf,
+    poisson_pmf,
+    poisson_pmf_vector,
+    poisson_total_variation,
+    total_variation_from_counts,
+)
+
+
+class TestPmf:
+    def test_matches_scipy(self):
+        for mean in (0.1, 1.0, 7.3, 40.0):
+            for k in (0, 1, 5, 20):
+                assert poisson_pmf(k, mean) == pytest.approx(
+                    float(scipy_poisson.pmf(k, mean)), rel=1e-10
+                )
+
+    def test_zero_mean_point_mass(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(3, 0.0) == 0.0
+
+    def test_negative_mean_raises(self):
+        with pytest.raises(ParameterError):
+            poisson_pmf(1, -0.5)
+
+    def test_vector_sums_near_one(self):
+        v = poisson_pmf_vector(100, 5.0)
+        assert v.sum() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestCdf:
+    def test_matches_scipy(self):
+        for mean in (0.5, 3.0, 12.0):
+            for k in (0, 2, 10):
+                assert poisson_cdf(k, mean) == pytest.approx(
+                    float(scipy_poisson.cdf(k, mean)), rel=1e-9
+                )
+
+    def test_far_tail_is_one(self):
+        assert poisson_cdf(1000, 1.0) == pytest.approx(1.0, abs=1e-12)
+        assert poisson_cdf(1000, 1.0) <= 1.0
+
+
+class TestTotalVariation:
+    def test_identical_distributions_zero(self):
+        ref = poisson_pmf_vector(30, 2.0)
+        counts = (ref * 1_000_000).round().astype(int)
+        assert poisson_total_variation(counts, 2.0) < 0.005
+
+    def test_disjoint_distributions_near_one(self):
+        counts = [0, 0, 0, 0, 0, 1000]  # all mass at 5
+        tv = total_variation_from_counts(counts, [1.0])  # all ref mass at 0
+        assert tv == pytest.approx(1.0)
+
+    def test_symmetric_bound(self):
+        counts = [3, 5, 2]
+        ref = [0.3, 0.3, 0.4]
+        tv = total_variation_from_counts(counts, ref)
+        assert 0.0 <= tv <= 1.0
+
+    def test_empty_counts_raise(self):
+        with pytest.raises(ParameterError):
+            total_variation_from_counts([], [1.0])
+
+    def test_zero_total_raises(self):
+        with pytest.raises(ParameterError):
+            total_variation_from_counts([0, 0], [1.0])
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ParameterError):
+            total_variation_from_counts([1, -1], [1.0])
+
+    def test_sampled_poisson_small_tv(self, rng):
+        sample = rng.poisson(4.0, size=20000)
+        counts = np.bincount(sample)
+        assert poisson_total_variation(counts, 4.0) < 0.03
+
+    def test_wrong_mean_detected(self, rng):
+        sample = rng.poisson(4.0, size=20000)
+        counts = np.bincount(sample)
+        assert poisson_total_variation(counts, 8.0) > 0.3

@@ -1,0 +1,121 @@
+"""Tests for key-ring samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import binom
+
+from repro.exceptions import ParameterError
+from repro.keygraphs.rings import (
+    rings_to_incidence,
+    sample_binomial_rings,
+    sample_uniform_rings,
+)
+
+
+class TestUniformRings:
+    def test_shape_and_dtype(self):
+        rings = sample_uniform_rings(10, 5, 50, seed=1)
+        assert rings.shape == (10, 5)
+        assert rings.dtype == np.int64
+
+    def test_rows_sorted_distinct(self):
+        rings = sample_uniform_rings(200, 30, 200, seed=2)
+        assert (np.diff(rings, axis=1) > 0).all()
+
+    def test_ids_in_pool(self):
+        rings = sample_uniform_rings(50, 10, 40, seed=3)
+        assert rings.min() >= 0 and rings.max() < 40
+
+    def test_full_pool_ring(self):
+        rings = sample_uniform_rings(5, 7, 7, seed=4)
+        assert np.array_equal(rings, np.tile(np.arange(7), (5, 1)))
+
+    def test_deterministic(self):
+        a = sample_uniform_rings(20, 8, 100, seed=9)
+        b = sample_uniform_rings(20, 8, 100, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_dense_fallback_region(self):
+        # K(K-1)/2P > 1 triggers argpartition path; rows still valid.
+        rings = sample_uniform_rings(30, 40, 60, seed=5)
+        assert rings.shape == (30, 40)
+        assert (np.diff(rings, axis=1) > 0).all()
+
+    def test_key_marginal_uniform(self):
+        # Each key appears with probability K/P per node.
+        n, K, P = 4000, 10, 50
+        rings = sample_uniform_rings(n, K, P, seed=6)
+        counts = np.bincount(rings.ravel(), minlength=P)
+        rate = counts / n
+        assert np.abs(rate - K / P).max() < 0.03
+
+    def test_pairwise_overlap_mean(self):
+        # Overlap of two rings should average K²/P.
+        n, K, P = 1000, 12, 300
+        rings = sample_uniform_rings(n, K, P, seed=7)
+        overlaps = [
+            np.intersect1d(rings[2 * i], rings[2 * i + 1]).size
+            for i in range(n // 2)
+        ]
+        assert np.mean(overlaps) == pytest.approx(K * K / P, rel=0.15)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            sample_uniform_rings(10, 0, 50)
+        with pytest.raises(ParameterError):
+            sample_uniform_rings(10, 51, 50)
+
+
+class TestBinomialRings:
+    def test_count_and_sorted(self):
+        rings = sample_binomial_rings(50, 0.1, 200, seed=1)
+        assert len(rings) == 50
+        for ring in rings:
+            assert (np.diff(ring) > 0).all() if ring.size > 1 else True
+
+    def test_ids_in_pool(self):
+        rings = sample_binomial_rings(50, 0.2, 100, seed=2)
+        for ring in rings:
+            if ring.size:
+                assert ring.min() >= 0 and ring.max() < 100
+
+    def test_zero_probability(self):
+        rings = sample_binomial_rings(10, 0.0, 100, seed=3)
+        assert all(r.size == 0 for r in rings)
+
+    def test_one_probability(self):
+        rings = sample_binomial_rings(5, 1.0, 30, seed=4)
+        assert all(np.array_equal(r, np.arange(30)) for r in rings)
+
+    def test_size_distribution_matches_binomial(self):
+        n, x, P = 3000, 0.05, 200
+        rings = sample_binomial_rings(n, x, P, seed=5)
+        sizes = np.array([r.size for r in rings])
+        assert sizes.mean() == pytest.approx(P * x, rel=0.05)
+        assert sizes.var() == pytest.approx(float(binom.var(P, x)), rel=0.15)
+
+    def test_dense_branch(self):
+        # x > 1/2 forces the partial-shuffle branch per node.
+        rings = sample_binomial_rings(20, 0.9, 50, seed=6)
+        sizes = np.array([r.size for r in rings])
+        assert sizes.mean() == pytest.approx(45.0, rel=0.1)
+
+
+class TestIncidence:
+    def test_uniform_rings_incidence(self):
+        rings = sample_uniform_rings(10, 4, 20, seed=1)
+        inc = rings_to_incidence(rings, 20)
+        assert inc.shape == (10, 20)
+        assert (inc.sum(axis=1) == 4).all()
+
+    def test_ragged_rings_incidence(self):
+        rings = [np.array([0, 3]), np.array([], dtype=np.int64), np.array([1])]
+        inc = rings_to_incidence(rings, 5)
+        assert inc.sum() == 3
+        assert inc[0, 3] == 1 and inc[2, 1] == 1
+
+    def test_out_of_pool_raises(self):
+        with pytest.raises(ValueError):
+            rings_to_incidence([np.array([7])], 5)

@@ -1,0 +1,89 @@
+"""Tests for repro.utils.rng seed management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    spawn_generators,
+    spawn_seed_sequences,
+    trial_seed_sequence,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(7)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawning:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_generators(123, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_int(self):
+        a1, b1 = spawn_generators(9, 2)
+        a2, b2 = spawn_generators(9, 2)
+        assert np.array_equal(a1.random(4), a2.random(4))
+        assert np.array_equal(b1.random(4), b2.random(4))
+
+    def test_spawn_from_generator_deterministic(self):
+        g1 = np.random.default_rng(5)
+        g2 = np.random.default_rng(5)
+        c1 = spawn_generators(g1, 3)
+        c2 = spawn_generators(g2, 3)
+        for x, y in zip(c1, c2):
+            assert np.array_equal(x.random(4), y.random(4))
+
+
+class TestTrialSeedSequence:
+    def test_distinct_trials_distinct_streams(self):
+        a = np.random.default_rng(trial_seed_sequence(0, 0)).random(8)
+        b = np.random.default_rng(trial_seed_sequence(0, 1)).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_per_trial(self):
+        a = np.random.default_rng(trial_seed_sequence(77, 13)).random(8)
+        b = np.random.default_rng(trial_seed_sequence(77, 13)).random(8)
+        assert np.array_equal(a, b)
+
+    def test_none_root_equals_zero_root(self):
+        a = np.random.default_rng(trial_seed_sequence(None, 4)).random(4)
+        b = np.random.default_rng(trial_seed_sequence(0, 4)).random(4)
+        assert np.array_equal(a, b)
+
+    def test_negative_index_raises(self):
+        with pytest.raises(ValueError):
+            trial_seed_sequence(0, -1)

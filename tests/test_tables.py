@@ -1,0 +1,74 @@
+"""Tests for the ASCII table/curve renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_curve, format_kv_block, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456]], floatfmt=".2f")
+        assert "0.12" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatCurve:
+    def test_empty(self):
+        assert format_curve([], []) == "(empty curve)"
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            format_curve([1, 2], [0.5])
+
+    def test_bad_range_raises(self):
+        with pytest.raises(ValueError):
+            format_curve([1], [0.5], y_min=1.0, y_max=0.0)
+
+    def test_contains_markers(self):
+        out = format_curve([0, 1, 2], [0.0, 0.5, 1.0], width=20, height=5)
+        assert out.count("*") == 3
+
+    def test_label_shown(self):
+        out = format_curve([0, 1], [0, 1], label="curve-x")
+        assert out.splitlines()[0] == "curve-x"
+
+    def test_single_point(self):
+        out = format_curve([5], [0.3])
+        assert "*" in out
+
+
+class TestFormatKvBlock:
+    def test_alignment(self):
+        out = format_kv_block("Header", [["key", 1], ["longer_key", 2]])
+        lines = out.splitlines()
+        assert lines[0] == "Header"
+        assert lines[1] == "-" * len("Header")
+        # Both value columns start at the same offset.
+        assert lines[2].index(":") == lines[3].index(":")
+
+    def test_empty_pairs(self):
+        out = format_kv_block("T", [])
+        assert out.splitlines()[0] == "T"

@@ -1,0 +1,107 @@
+"""Tests for BFS/DFS traversal, components, shortest paths."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_order,
+    connected_components,
+    eccentricity,
+    is_connected,
+    shortest_path,
+)
+from tests.conftest import random_gnp_graph
+
+
+def _to_nx(g: Graph) -> nx.Graph:
+    ng = nx.Graph()
+    ng.add_nodes_from(range(g.num_nodes))
+    ng.add_edges_from(g.edges())
+    return ng
+
+
+class TestBfs:
+    def test_order_starts_at_source(self):
+        g = Graph.path(4)
+        assert bfs_order(g, 2)[0] == 2
+
+    def test_reaches_component_only(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert set(bfs_order(g, 0)) == {0, 1}
+
+    def test_bad_source_raises(self):
+        with pytest.raises(GraphError):
+            bfs_order(Graph(2), 5)
+
+
+class TestComponents:
+    def test_isolated_nodes_are_components(self):
+        g = Graph(3)
+        assert len(connected_components(g)) == 3
+
+    def test_largest_first(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2, 1]
+
+    def test_matches_networkx_on_random(self, rng):
+        for _ in range(25):
+            g = random_gnp_graph(int(rng.integers(2, 40)), 0.08, rng)
+            ours = sorted(len(c) for c in connected_components(g))
+            theirs = sorted(len(c) for c in nx.connected_components(_to_nx(g)))
+            assert ours == theirs
+
+
+class TestIsConnected:
+    def test_singleton(self):
+        assert is_connected(Graph(1))
+
+    def test_cycle(self):
+        assert is_connected(Graph.cycle(5))
+
+    def test_two_parts(self):
+        assert not is_connected(Graph(4, [(0, 1), (2, 3)]))
+
+
+class TestShortestPath:
+    def test_trivial(self):
+        assert shortest_path(Graph(3), 1, 1) == [1]
+
+    def test_disconnected_returns_none(self):
+        assert shortest_path(Graph(3, [(0, 1)]), 0, 2) is None
+
+    def test_path_validity_and_length(self, rng):
+        for _ in range(25):
+            g = random_gnp_graph(int(rng.integers(3, 30)), 0.15, rng)
+            ng = _to_nx(g)
+            s, t = 0, g.num_nodes - 1
+            ours = shortest_path(g, s, t)
+            if ours is None:
+                assert not nx.has_path(ng, s, t)
+                continue
+            # Each hop must be a real edge, length must be optimal.
+            for a, b in zip(ours, ours[1:]):
+                assert g.has_edge(a, b)
+            assert len(ours) - 1 == nx.shortest_path_length(ng, s, t)
+
+    def test_bad_nodes_raise(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            shortest_path(g, 0, 7)
+        with pytest.raises(GraphError):
+            shortest_path(g, 7, 0)
+
+
+class TestEccentricity:
+    def test_path_graph_endpoint(self):
+        assert eccentricity(Graph.path(5), 0) == 4
+
+    def test_path_graph_center(self):
+        assert eccentricity(Graph.path(5), 2) == 2
+
+    def test_isolated(self):
+        assert eccentricity(Graph(3), 0) == 0

@@ -1,0 +1,134 @@
+"""Tests for trial protocols and estimation runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import QCompositeParams
+from repro.simulation.runners import (
+    estimate_agreement,
+    estimate_connectivity,
+    estimate_k_connectivity,
+    estimate_min_degree,
+    sample_degree_counts,
+)
+from repro.simulation.trials import (
+    connectivity_trial,
+    degree_count_trial,
+    k_connectivity_trial,
+    min_degree_trial,
+    min_degree_vs_kconn_trial,
+    sample_secure_edges,
+)
+
+
+@pytest.fixture
+def mid_params() -> QCompositeParams:
+    """Near-threshold point at small n: outcomes vary across trials."""
+    return QCompositeParams(
+        num_nodes=80, key_ring_size=14, pool_size=600, overlap=2, channel_prob=0.7
+    )
+
+
+class TestSampleSecureEdges:
+    def test_deterministic_per_generator_state(self, mid_params):
+        a = sample_secure_edges(mid_params, np.random.default_rng(1))
+        b = sample_secure_edges(mid_params, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_channel_thins_edges(self, mid_params):
+        full = mid_params.with_updates(channel_prob=1.0)
+        thin = mid_params.with_updates(channel_prob=0.3)
+        e_full = sample_secure_edges(full, np.random.default_rng(2))
+        e_thin = sample_secure_edges(thin, np.random.default_rng(2))
+        assert e_thin.shape[0] < e_full.shape[0]
+
+    def test_p_one_equals_key_graph(self, mid_params):
+        from repro.keygraphs.rings import sample_uniform_rings
+        from repro.keygraphs.uniform_graph import edges_from_rings
+
+        params = mid_params.with_updates(channel_prob=1.0)
+        rng = np.random.default_rng(3)
+        ours = sample_secure_edges(params, rng)
+        rng2 = np.random.default_rng(3)
+        rings = sample_uniform_rings(80, 14, 600, rng2)
+        expect = edges_from_rings(rings, 2)
+        assert np.array_equal(ours, expect)
+
+
+class TestTrialProtocols:
+    def test_connectivity_trial_bool(self, mid_params):
+        assert isinstance(connectivity_trial(mid_params, np.random.default_rng(1)), bool)
+
+    def test_k1_trial_matches_connectivity_trial(self, mid_params):
+        for seed in range(5):
+            a = connectivity_trial(mid_params, np.random.default_rng(seed))
+            b = k_connectivity_trial(mid_params, 1, np.random.default_rng(seed))
+            assert a == b
+
+    def test_kconn_implies_mindegree(self, mid_params):
+        for seed in range(10):
+            deg_ok, conn_ok = min_degree_vs_kconn_trial(
+                mid_params, 2, np.random.default_rng(seed)
+            )
+            if conn_ok:
+                assert deg_ok
+
+    def test_min_degree_trial_matches_joint(self, mid_params):
+        for seed in range(5):
+            solo = min_degree_trial(mid_params, 2, np.random.default_rng(seed))
+            joint, _ = min_degree_vs_kconn_trial(
+                mid_params, 2, np.random.default_rng(seed)
+            )
+            assert solo == joint
+
+    def test_degree_count_consistent(self, mid_params):
+        # Sum of counts over all h equals n for any single sample.
+        rng_master = np.random.default_rng(4)
+        edges = sample_secure_edges(mid_params, rng_master)
+        from repro.graphs.properties import degrees_from_edges
+
+        degs = degrees_from_edges(80, edges)
+        total = sum(
+            int((degs == h).sum()) for h in range(int(degs.max()) + 1)
+        )
+        assert total == 80
+
+    def test_degree_count_trial_nonnegative(self, mid_params):
+        v = degree_count_trial(mid_params, 1, np.random.default_rng(5))
+        assert isinstance(v, int) and v >= 0
+
+
+class TestRunners:
+    def test_connectivity_estimate_fields(self, mid_params):
+        est = estimate_connectivity(mid_params, 20, seed=1, workers=1)
+        assert est.trials == 20
+        assert est.successes == round(est.estimate * 20)
+
+    def test_k1_dispatches_to_connectivity(self, mid_params):
+        a = estimate_connectivity(mid_params, 15, seed=2, workers=1)
+        b = estimate_k_connectivity(mid_params, 1, 15, seed=2, workers=1)
+        assert a == b
+
+    def test_parallel_equals_serial(self, mid_params):
+        a = estimate_connectivity(mid_params, 12, seed=3, workers=1)
+        b = estimate_connectivity(mid_params, 12, seed=3, workers=4)
+        assert a == b
+
+    def test_min_degree_at_least_kconn(self, mid_params):
+        # P[min deg >= k] >= P[k-connected] on identical seeds.
+        deg, conn, agreement = estimate_agreement(
+            mid_params, 2, 30, seed=4, workers=1
+        )
+        assert deg.estimate >= conn.estimate
+        assert 0.0 <= agreement <= 1.0
+
+    def test_degree_counts_array(self, mid_params):
+        counts = sample_degree_counts(mid_params, 0, 25, seed=5, workers=1)
+        assert counts.shape == (25,)
+        assert (counts >= 0).all()
+
+    def test_min_degree_estimate(self, mid_params):
+        est = estimate_min_degree(mid_params, 1, 20, seed=6, workers=1)
+        assert 0.0 <= est.estimate <= 1.0

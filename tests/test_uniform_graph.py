@@ -1,0 +1,116 @@
+"""Tests for the uniform q-intersection graph generator.
+
+The strongest check: the vectorized inverted-index backend and the
+dense Gram-matrix backend must produce *identical* edge sets on the
+same rings, and the realized edge frequency must match the exact
+hypergeometric ``s(K, P, q)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.keygraphs.rings import sample_binomial_rings, sample_uniform_rings
+from repro.keygraphs.uniform_graph import (
+    edges_from_rings,
+    overlap_counts_from_rings,
+    uniform_intersection_edges,
+    uniform_intersection_graph,
+)
+from repro.probability.hypergeometric import overlap_survival
+
+
+def _edge_set(arr: np.ndarray) -> set:
+    return {tuple(map(int, row)) for row in arr}
+
+
+class TestBackendsAgree:
+    def test_uniform_rings_many_seeds(self):
+        for seed in range(15):
+            rings = sample_uniform_rings(40, 12, 120, seed=seed)
+            for q in (1, 2, 3):
+                inv = edges_from_rings(rings, q, backend="inverted")
+                dense = edges_from_rings(rings, q, backend="dense")
+                assert _edge_set(inv) == _edge_set(dense), (seed, q)
+
+    def test_ragged_rings(self):
+        rings = sample_binomial_rings(30, 0.1, 100, seed=3)
+        for q in (1, 2):
+            inv = edges_from_rings(rings, q, backend="inverted")
+            dense = edges_from_rings(rings, q, backend="dense")
+            assert _edge_set(inv) == _edge_set(dense)
+
+    def test_unknown_backend_raises(self):
+        rings = sample_uniform_rings(5, 2, 10, seed=0)
+        with pytest.raises(ParameterError):
+            edges_from_rings(rings, 1, backend="magic")
+
+
+class TestOverlapCounts:
+    def test_counts_match_bruteforce(self):
+        rings = sample_uniform_rings(25, 8, 60, seed=7)
+        pair_keys, counts = overlap_counts_from_rings(rings)
+        lookup = dict(zip(pair_keys.tolist(), counts.tolist()))
+        n = rings.shape[0]
+        for u in range(n):
+            for v in range(u + 1, n):
+                overlap = np.intersect1d(rings[u], rings[v]).size
+                got = lookup.get(u * n + v, 0)
+                assert got == overlap, (u, v)
+
+    def test_empty_rings(self):
+        keys, counts = overlap_counts_from_rings(
+            [np.empty(0, dtype=np.int64) for _ in range(4)]
+        )
+        assert keys.size == 0 and counts.size == 0
+
+    def test_no_nodes_raises(self):
+        with pytest.raises(ParameterError):
+            overlap_counts_from_rings([])
+
+
+class TestEdgeSemantics:
+    def test_q_monotone_nesting(self):
+        rings = sample_uniform_rings(60, 15, 150, seed=9)
+        e1 = _edge_set(edges_from_rings(rings, 1))
+        e2 = _edge_set(edges_from_rings(rings, 2))
+        e3 = _edge_set(edges_from_rings(rings, 3))
+        assert e3 <= e2 <= e1
+        assert len(e1) > len(e3)  # strictly richer at this density
+
+    def test_identical_rings_always_adjacent(self):
+        rings = np.tile(np.arange(5, dtype=np.int64), (4, 1))
+        edges = edges_from_rings(rings, 5)
+        assert len(_edge_set(edges)) == 6  # complete graph on 4 nodes
+
+    def test_disjoint_rings_no_edges(self):
+        rings = np.arange(12, dtype=np.int64).reshape(4, 3)  # disjoint triples
+        assert edges_from_rings(rings, 1).shape == (0, 2)
+
+    def test_canonical_sorted_output(self):
+        rings = sample_uniform_rings(30, 10, 80, seed=11)
+        edges = edges_from_rings(rings, 1)
+        assert (edges[:, 0] < edges[:, 1]).all()
+        keys = edges[:, 0] * 30 + edges[:, 1]
+        assert (np.diff(keys) > 0).all()  # sorted, no duplicates
+
+
+class TestEdgeProbability:
+    def test_matches_hypergeometric(self):
+        # Realized edge density over many graphs ≈ s(K, P, q).
+        n, K, P, q = 60, 10, 200, 2
+        total_edges = 0
+        reps = 60
+        for seed in range(reps):
+            total_edges += uniform_intersection_edges(n, K, P, q, seed=seed).shape[0]
+        pairs = n * (n - 1) / 2
+        emp = total_edges / (pairs * reps)
+        s = overlap_survival(K, P, q)
+        sd = np.sqrt(s * (1 - s) / (pairs * reps))  # ignores pair dependence
+        assert abs(emp - s) < 6 * sd + 0.002
+
+    def test_graph_wrapper(self):
+        g = uniform_intersection_graph(25, 6, 60, 1, seed=2)
+        assert g.num_nodes == 25

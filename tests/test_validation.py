@@ -1,0 +1,142 @@
+"""Unit tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import (
+    check_finite_float,
+    check_in_range,
+    check_key_parameters,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_plain_int(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_returns_python_int_for_numpy_input(self):
+        assert type(check_positive_int(np.int32(3), "x")) is int
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ParameterError):
+            check_positive_int("3", "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ParameterError, match="widgets"):
+            check_positive_int(0, "widgets")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_nonnegative_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            check_nonnegative_int(False, "x")
+
+
+class TestCheckProbability:
+    def test_accepts_endpoints(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_accepts_interior(self):
+        assert check_probability(0.37, "p") == 0.37
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ParameterError):
+            check_probability(1.0001, "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_probability(-0.1, "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ParameterError):
+            check_probability(float("nan"), "p")
+
+    def test_disallow_zero(self):
+        with pytest.raises(ParameterError):
+            check_probability(0.0, "p", allow_zero=False)
+
+    def test_disallow_zero_still_accepts_one(self):
+        assert check_probability(1.0, "p", allow_zero=False) == 1.0
+
+    def test_coerces_int(self):
+        assert check_probability(1, "p") == 1.0
+
+
+class TestCheckFiniteAndRange:
+    def test_finite_accepts_negative(self):
+        assert check_finite_float(-3.5, "x") == -3.5
+
+    def test_finite_rejects_inf(self):
+        with pytest.raises(ParameterError):
+            check_finite_float(float("inf"), "x")
+
+    def test_range_inclusive(self):
+        assert check_in_range(1.0, "x", low=1.0, high=2.0) == 1.0
+
+    def test_range_exclusive_low(self):
+        with pytest.raises(ParameterError):
+            check_in_range(1.0, "x", low=1.0, low_inclusive=False)
+
+    def test_range_exclusive_high(self):
+        with pytest.raises(ParameterError):
+            check_in_range(2.0, "x", high=2.0, high_inclusive=False)
+
+    def test_range_above_high(self):
+        with pytest.raises(ParameterError):
+            check_in_range(3.0, "x", high=2.0)
+
+
+class TestCheckKeyParameters:
+    def test_valid_triple(self):
+        check_key_parameters(30, 1000, 2)  # no raise
+
+    def test_ring_exceeds_pool(self):
+        with pytest.raises(ParameterError):
+            check_key_parameters(1001, 1000, 1)
+
+    def test_overlap_exceeds_ring(self):
+        with pytest.raises(ParameterError):
+            check_key_parameters(5, 1000, 6)
+
+    def test_boundary_ring_equals_pool(self):
+        check_key_parameters(10, 10, 1)  # allowed boundary
+
+    def test_boundary_overlap_equals_ring(self):
+        check_key_parameters(4, 100, 4)  # allowed boundary
+
+    def test_zero_overlap_rejected(self):
+        with pytest.raises(ParameterError):
+            check_key_parameters(10, 100, 0)

@@ -1,0 +1,89 @@
+"""Remaining coverage: disk-channel WSN wiring and the CLI `all` path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channels.disk import DiskChannel
+from repro.keygraphs.schemes import QCompositeScheme
+from repro.wsn.network import SecureWSN
+
+
+class TestDiskChannelWsn:
+    def test_sensor_positions_populated(self):
+        wsn = SecureWSN(20, QCompositeScheme(8, 100, 1), DiskChannel(0.4), seed=1)
+        for sensor in wsn.sensors:
+            assert sensor.position is not None
+            x, y = sensor.position
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_onoff_wsn_has_no_positions(self):
+        wsn = SecureWSN(10, QCompositeScheme(5, 50, 1), seed=2)
+        assert all(s.position is None for s in wsn.sensors)
+
+    def test_links_respect_radius(self):
+        wsn = SecureWSN(
+            30, QCompositeScheme(20, 40, 1), DiskChannel(0.3, torus=False), seed=3
+        )
+        positions = np.array([s.position for s in wsn.sensors])
+        for u, v in wsn.secure_edges():
+            dist = float(np.linalg.norm(positions[int(u)] - positions[int(v)]))
+            assert dist <= 0.3 + 1e-12
+
+    def test_geometry_only_thins_key_graph(self):
+        wsn = SecureWSN(
+            30, QCompositeScheme(10, 100, 2), DiskChannel(0.25), seed=4
+        )
+        key = {tuple(map(int, e)) for e in wsn.key_graph_edges}
+        secure = {tuple(map(int, e)) for e in wsn.secure_edges()}
+        assert secure <= key
+
+
+class TestCliAll:
+    def test_all_runs_every_registered_experiment(self, capsys, monkeypatch):
+        # Substitute a micro registry so `all` completes in milliseconds
+        # while still exercising the real dispatch loop.
+        from repro import cli
+        from repro.experiments import registry as reg
+        from repro.experiments.kstar import render_kstar, run_kstar
+
+        micro = {
+            "kstar": reg.ExperimentSpec(
+                name="kstar",
+                paper_anchor="Eq. (9)",
+                description="thresholds",
+                run=run_kstar,
+                render=render_kstar,
+            )
+        }
+        monkeypatch.setattr(reg, "REGISTRY", micro)
+        assert cli.main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "=== kstar" in out
+        assert "paper K*" in out
+
+    def test_all_forwards_workers_flag(self, capsys, monkeypatch):
+        from repro import cli
+        from repro.experiments import registry as reg
+
+        seen = {}
+
+        def fake_run(**kwargs):
+            seen.update(kwargs)
+            from repro.experiments.kstar import run_kstar
+
+            return run_kstar()
+
+        micro = {
+            "demo": reg.ExperimentSpec(
+                name="demo",
+                paper_anchor="-",
+                description="-",
+                run=fake_run,
+                render=lambda result: "ok",
+            )
+        }
+        monkeypatch.setattr(reg, "REGISTRY", micro)
+        assert cli.main(["all", "--trials", "7", "--workers", "2"]) == 0
+        assert seen == {"trials": 7, "workers": 2}
