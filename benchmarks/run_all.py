@@ -1,0 +1,151 @@
+"""Machine-readable perf tracking: run the key workloads, write JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [output.json]
+
+Runs the performance-critical workloads (sweep engine vs legacy
+Figure 1 path, the vectorized connectivity kernel, and the batched
+samplers) with quick trial counts (``REPRO_TRIALS`` overrides) and
+writes per-bench wall times plus the headline speedup to
+``BENCH_PR1.json`` so the perf trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def main(argv: List[str]) -> int:
+    out_path = argv[1] if len(argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_PR1.json",
+    )
+
+    import numpy as np
+
+    from repro.experiments.figure1 import default_ring_sizes, run_figure1
+    from repro.graphs.generators import erdos_renyi_edges
+    from repro.graphs.unionfind import (
+        UnionFind,
+        is_connected_edges,
+        is_connected_pair_keys,
+    )
+    from repro.keygraphs.rings import sample_binomial_rings
+    from repro.simulation.engine import trials_from_env
+
+    trials = trials_from_env(20)
+    ring_sizes = default_ring_sizes()
+    benches: List[Dict[str, object]] = []
+
+    # -- headline: quick Figure 1, sweep vs legacy ----------------------
+    sweep_s = _timed(
+        lambda: run_figure1(
+            trials=trials, ring_sizes=ring_sizes, backend="sweep", workers=1
+        )
+    )
+    benches.append(
+        {
+            "name": "figure1_quick_sweep",
+            "wall_s": round(sweep_s, 3),
+            "trials": trials,
+            "points": 6 * len(ring_sizes),
+            "deployments": len(ring_sizes) * trials,
+        }
+    )
+    legacy_s = _timed(
+        lambda: run_figure1(
+            trials=trials, ring_sizes=ring_sizes, backend="legacy", workers=1
+        )
+    )
+    benches.append(
+        {
+            "name": "figure1_quick_legacy",
+            "wall_s": round(legacy_s, 3),
+            "trials": trials,
+            "points": 6 * len(ring_sizes),
+            "deployments": 6 * len(ring_sizes) * trials,
+        }
+    )
+
+    # -- connectivity kernel: vectorized vs Python union-find -----------
+    edges = erdos_renyi_edges(1000, 0.008, seed=3)
+    keys = edges[:, 0] * 1000 + edges[:, 1]
+    reps = 200
+
+    def kernel_vec() -> None:
+        for _ in range(reps):
+            is_connected_pair_keys(1000, keys)
+
+    def kernel_py() -> None:
+        for _ in range(reps):
+            uf = UnionFind(1000)
+            for u, v in edges:
+                uf.union(int(u), int(v))
+
+    vec_s = _timed(kernel_vec)
+    py_s = _timed(kernel_py)
+    benches.append(
+        {
+            "name": "connectivity_kernel_vectorized",
+            "wall_s": round(vec_s, 3),
+            "reps": reps,
+            "edges": int(edges.shape[0]),
+        }
+    )
+    benches.append(
+        {
+            "name": "connectivity_kernel_python_unionfind",
+            "wall_s": round(py_s, 3),
+            "reps": reps,
+            "edges": int(edges.shape[0]),
+        }
+    )
+
+    # -- batched binomial ring sampler ----------------------------------
+    binom_s = _timed(lambda: sample_binomial_rings(2000, 0.008, 10000, seed=4))
+    benches.append(
+        {
+            "name": "binomial_rings_batched_n2000",
+            "wall_s": round(binom_s, 3),
+            "nodes": 2000,
+            "pool": 10000,
+        }
+    )
+
+    report = {
+        "pr": 1,
+        "generated_by": "benchmarks/run_all.py",
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+            "repro_trials": trials,
+        },
+        "benches": benches,
+        "speedups": {
+            "figure1_sweep_vs_legacy": round(legacy_s / sweep_s, 2),
+            "connectivity_kernel_vs_python": round(py_s / vec_s, 2),
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report["speedups"], indent=2))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -11,12 +11,10 @@ failures).
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 from repro.channels.base import ChannelModel, ChannelRealization
-from repro.graphs.generators import erdos_renyi_edges
+from repro.graphs.generators import erdos_renyi_edges, pair_index_to_edge
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int, check_probability
 
@@ -48,7 +46,10 @@ class OnOffRealization(ChannelRealization):
         super().__init__(check_positive_int(num_nodes, "num_nodes"))
         self.prob = check_probability(prob, "prob", allow_zero=False)
         self._rng = as_generator(seed)
-        self._cache: Dict[int, bool] = {}
+        # Cache as parallel sorted arrays: known pair keys (u * n + v,
+        # u < v) and their on/off states, queried with searchsorted.
+        self._known_keys = np.empty(0, dtype=np.int64)
+        self._known_states = np.empty(0, dtype=bool)
 
     def edge_mask(self, edges: np.ndarray) -> np.ndarray:
         edges = np.asarray(edges, dtype=np.int64)
@@ -57,16 +58,24 @@ class OnOffRealization(ChannelRealization):
         lo = np.minimum(edges[:, 0], edges[:, 1])
         hi = np.maximum(edges[:, 0], edges[:, 1])
         keys = lo * np.int64(self.num_nodes) + hi
-        out = np.empty(keys.size, dtype=bool)
-        cache = self._cache
-        draws = self._rng.random(keys.size)  # one draw per query; used on miss
-        for i, key in enumerate(keys.tolist()):
-            state = cache.get(key)
-            if state is None:
-                state = bool(draws[i] < self.prob)
-                cache[key] = state
-            out[i] = state
-        return out
+        # Dedupe the query so repeated pairs inside one batch share one
+        # state, then split hit/miss with one searchsorted pass.
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        pos = np.searchsorted(self._known_keys, uniq)
+        hit = np.zeros(uniq.size, dtype=bool)
+        in_range = pos < self._known_keys.size
+        hit[in_range] = self._known_keys[pos[in_range]] == uniq[in_range]
+        states = np.empty(uniq.size, dtype=bool)
+        states[hit] = self._known_states[pos[hit]]
+        miss = ~hit
+        if miss.any():
+            fresh = self._rng.random(int(miss.sum())) < self.prob
+            states[miss] = fresh
+            merged = np.concatenate([self._known_keys, uniq[miss]])
+            order = np.argsort(merged, kind="stable")
+            self._known_keys = merged[order]
+            self._known_states = np.concatenate([self._known_states, fresh])[order]
+        return states[inverse]
 
     def channel_edges(self) -> np.ndarray:
         """Materialize the full channel graph consistently with the cache.
@@ -75,9 +84,8 @@ class OnOffRealization(ChannelRealization):
         state, the rest are drawn now and cached.
         """
         n = self.num_nodes
-        pairs = np.array(
-            [(u, v) for u in range(n) for v in range(u + 1, n)], dtype=np.int64
-        )
+        total = n * (n - 1) // 2
+        pairs = pair_index_to_edge(n, np.arange(total, dtype=np.int64))
         mask = self.edge_mask(pairs)
         return pairs[mask]
 

@@ -21,10 +21,12 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.theorem1 import predict_k_connectivity
+from repro.exceptions import ParameterError
 from repro.params import QCompositeParams
 from repro.simulation.engine import trials_from_env
 from repro.simulation.results import CurvePoint, ExperimentResult
 from repro.simulation.runners import estimate_connectivity
+from repro.simulation.sweep import SweepSpec, sweep_connectivity_estimates
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -62,8 +64,16 @@ def run_figure1(
     workers: Optional[int] = None,
     num_nodes: int = NUM_NODES,
     pool_size: int = POOL_SIZE,
+    backend: str = "sweep",
 ) -> ExperimentResult:
     """Run the Figure 1 sweep and return all points.
+
+    The default ``"sweep"`` backend evaluates all curves on shared
+    deployments (one ring sample + overlap count per ``(K, trial)``,
+    nested channel thinning — see :mod:`repro.simulation.sweep`), which
+    is several times faster and couples the curves for lower-variance
+    comparisons.  ``backend="legacy"`` runs the original per-point
+    path, kept as an independent cross-check.
 
     The default seed is fixed so published EXPERIMENTS.md numbers are
     regenerable; pass a different seed for an independent replication.
@@ -71,6 +81,22 @@ def run_figure1(
     trials = trials if trials is not None else trials_from_env(60, full=500)
     ring_sizes = list(ring_sizes) if ring_sizes is not None else default_ring_sizes()
     curves = list(curves) if curves is not None else list(FIGURE1_CURVES)
+    if backend not in ("sweep", "legacy"):
+        raise ParameterError(
+            f"unknown backend {backend!r}; use 'sweep' or 'legacy'"
+        )
+
+    curves = [(int(q), float(p)) for q, p in curves]
+    if backend == "sweep":
+        spec = SweepSpec(
+            num_nodes=num_nodes,
+            pool_size=pool_size,
+            ring_sizes=tuple(ring_sizes),
+            curves=tuple(curves),
+            trials=trials,
+            seed=seed,
+        )
+        sweep_estimates = sweep_connectivity_estimates(spec, workers=workers)
 
     points: List[CurvePoint] = []
     for q, p in curves:
@@ -82,16 +108,18 @@ def run_figure1(
                 overlap=q,
                 channel_prob=p,
             )
-            estimate = estimate_connectivity(
-                params, trials, seed=seed + ring + int(1000 * p) + 100000 * q,
-                workers=workers,
-            )
-            prediction = predict_k_connectivity(params, k=1).probability
+            if backend == "sweep":
+                estimate = sweep_estimates[(q, p)][ring]
+            else:
+                estimate = estimate_connectivity(
+                    params, trials, seed=seed + ring + int(1000 * p) + 100000 * q,
+                    workers=workers,
+                )
             points.append(
                 CurvePoint(
                     point={"q": q, "p": p, "K": ring},
                     estimate=estimate,
-                    prediction=prediction,
+                    prediction=predict_k_connectivity(params, k=1).probability,
                 )
             )
     return ExperimentResult(
@@ -103,6 +131,7 @@ def run_figure1(
             "ring_sizes": list(ring_sizes),
             "curves": [list(c) for c in curves],
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

@@ -13,11 +13,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.scaling import channel_prob_for_alpha
-from repro.params import QCompositeParams
 from repro.probability.limits import limit_probability
 from repro.simulation.engine import trials_from_env
 from repro.simulation.results import CurvePoint, ExperimentResult
-from repro.simulation.runners import estimate_connectivity
+from repro.simulation.sweep import SweepSpec, sweep_connectivity_estimates
 from repro.utils.tables import format_table
 
 __all__ = ["run_zero_one", "render_zero_one"]
@@ -37,6 +36,13 @@ def run_zero_one(
     The ring size is chosen per ``n`` as the minimal ``K`` whose key
     graph clears the *largest* α in the grid at ``p = 1`` (plus margin),
     so the channel-probability solve stays within (0, 1] at every point.
+
+    All α offsets at one ``n`` differ only in the channel probability,
+    so they run as one shared-deployment sweep: the same sampled key
+    rings serve every offset, with channels realized by nested thinning
+    (:mod:`repro.simulation.sweep`).  The ±α comparison therefore uses
+    common random numbers — the transition sharpening is visible at far
+    fewer trials than with independent sampling.
     """
     from repro.core.design import minimal_key_ring_size
     from repro.probability.limits import limit_probability
@@ -48,22 +54,24 @@ def run_zero_one(
         ring = minimal_key_ring_size(
             n, pool_size, q, 1.0, k=1, target_probability=min(top_target, 0.999)
         )
-        for alpha in alpha_offsets:
-            p = channel_prob_for_alpha(n, ring, pool_size, q, alpha, k=1)
-            params = QCompositeParams(
-                num_nodes=n,
-                key_ring_size=ring,
-                pool_size=pool_size,
-                overlap=q,
-                channel_prob=p,
-            )
-            estimate = estimate_connectivity(
-                params, trials, seed=seed + n + int(alpha * 100), workers=workers
-            )
+        channel_probs = [
+            channel_prob_for_alpha(n, ring, pool_size, q, alpha, k=1)
+            for alpha in alpha_offsets
+        ]
+        spec = SweepSpec(
+            num_nodes=n,
+            pool_size=pool_size,
+            ring_sizes=(ring,),
+            curves=tuple((q, p) for p in channel_probs),
+            trials=trials,
+            seed=seed + n,
+        )
+        estimates = sweep_connectivity_estimates(spec, workers=workers)
+        for alpha, p in zip(alpha_offsets, channel_probs):
             points.append(
                 CurvePoint(
                     point={"n": n, "alpha": alpha, "K": ring, "p": p},
-                    estimate=estimate,
+                    estimate=estimates[(q, float(p))][ring],
                     prediction=limit_probability(alpha, 1),
                 )
             )

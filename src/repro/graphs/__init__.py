@@ -41,8 +41,11 @@ from repro.graphs.traversal import (
 )
 from repro.graphs.unionfind import (
     UnionFind,
+    connected_components_labels,
     count_components_edges,
+    count_components_pair_keys,
     is_connected_edges,
+    is_connected_pair_keys,
 )
 from repro.graphs.vertex_connectivity import (
     is_k_connected,
@@ -83,8 +86,11 @@ __all__ = [
     "is_connected",
     "shortest_path",
     "UnionFind",
+    "connected_components_labels",
     "count_components_edges",
+    "count_components_pair_keys",
     "is_connected_edges",
+    "is_connected_pair_keys",
     "is_k_connected",
     "local_node_connectivity",
     "vertex_connectivity",

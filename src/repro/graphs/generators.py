@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.graphs.graph import Graph
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, as_generator, sample_distinct_integers
 from repro.utils.validation import check_positive_int, check_probability
 
 __all__ = [
@@ -110,16 +110,9 @@ def _sample_sparse(
         return np.empty((0, 2), dtype=np.int64)
     if m > total:  # pragma: no cover - binomial cannot exceed total
         m = total
-    # Floyd's algorithm: uniform m-subset of [0, total) in O(m) expected.
-    chosen = set()
-    for r in range(total - m, total):
-        candidate = int(rng.integers(0, r + 1))
-        if candidate in chosen:
-            chosen.add(r)
-        else:
-            chosen.add(candidate)
-    idx = np.fromiter(chosen, dtype=np.int64, count=m)
-    idx.sort()
+    # Batched distinct-index draws (exact uniform m-subset of [0, total)),
+    # replacing the per-element Floyd set loop.
+    idx = sample_distinct_integers(total, m, rng)
     return pair_index_to_edge(num_nodes, idx)
 
 

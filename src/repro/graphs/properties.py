@@ -88,18 +88,33 @@ def average_clustering(graph: Graph) -> float:
     n = graph.num_nodes
     if n == 0:  # pragma: no cover - Graph enforces n >= 1
         return 0.0
-    total = 0.0
-    for u in range(n):
-        neigh = graph.adjacency(u)
-        d = len(neigh)
-        if d < 2:
-            continue
-        links = 0
-        neigh_list = sorted(neigh)
-        for i, a in enumerate(neigh_list):
-            adj_a = graph.adjacency(a)
-            for b in neigh_list[i + 1 :]:
-                if b in adj_a:
-                    links += 1
-        total += 2.0 * links / (d * (d - 1))
-    return total / n
+    edges = graph.to_edge_array()
+    if edges.size == 0:
+        return 0.0
+    degs = degrees_from_edges(n, edges)
+    # CSR adjacency with sorted neighbor lists, built in one lexsort.
+    heads = np.concatenate([edges[:, 0], edges[:, 1]])
+    tails = np.concatenate([edges[:, 1], edges[:, 0]])
+    order = np.lexsort((tails, heads))
+    neighbors = tails[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degs, out=indptr[1:])
+    # Common-neighbor count per edge via sorted-array intersection.
+    # Summed over the edges incident to u this counts each triangle at u
+    # twice, so c(u) = S[u] / (d(d-1)) without a separate halving.
+    common = np.empty(edges.shape[0], dtype=np.int64)
+    for e in range(edges.shape[0]):
+        u, v = edges[e, 0], edges[e, 1]
+        common[e] = np.intersect1d(
+            neighbors[indptr[u] : indptr[u + 1]],
+            neighbors[indptr[v] : indptr[v + 1]],
+            assume_unique=True,
+        ).size
+    coeff_sum = np.zeros(n, dtype=np.float64)
+    np.add.at(coeff_sum, edges[:, 0], common)
+    np.add.at(coeff_sum, edges[:, 1], common)
+    mask = degs >= 2
+    if not mask.any():
+        return 0.0
+    local = coeff_sum[mask] / (degs[mask] * (degs[mask] - 1.0))
+    return float(local.sum() / n)

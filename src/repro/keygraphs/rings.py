@@ -22,7 +22,7 @@ from typing import List
 
 import numpy as np
 
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, as_generator, sample_distinct_integers
 from repro.utils.validation import (
     check_key_parameters,
     check_positive_int,
@@ -89,40 +89,64 @@ def sample_binomial_rings(
     """Sample ``n`` binomial rings: each key kept i.i.d. with prob ``x``.
 
     Returns a ragged list of sorted int64 arrays (ring sizes differ by
-    node — that is the point of the binomial model).  Sampling draws the
-    ring size ``Bin(P, x)`` first and then a uniform subset of that
-    size via Floyd's algorithm, which is ``O(total ring length)`` and
-    therefore much cheaper than ``n`` full Bernoulli sweeps for the
-    sparse regimes of interest.
+    node — that is the point of the binomial model).  Sampling draws all
+    ring sizes ``Bin(P, x)`` up front and then fills every ring with
+    batched numpy draws: sparse rings go through one padded rejection
+    matrix (i.i.d. draws conditioned on per-row distinctness — exactly a
+    uniform subset per node, same argument as the uniform sampler),
+    collision-heavy rings through the ``O(size)`` distinct-integer
+    sampler or an ``O(P)`` partial shuffle when over half the pool.  No
+    per-key Python loop remains.
     """
     num_nodes = check_positive_int(num_nodes, "num_nodes")
     pool_size = check_positive_int(pool_size, "pool_size")
     key_probability = check_probability(key_probability, "key_probability")
     rng = as_generator(seed)
 
-    sizes = rng.binomial(pool_size, key_probability, size=num_nodes)
-    rings: List[np.ndarray] = []
-    for size in sizes:
-        size = int(size)
-        if size == 0:
-            rings.append(np.empty(0, dtype=np.int64))
-            continue
+    sizes = rng.binomial(pool_size, key_probability, size=num_nodes).astype(np.int64)
+    rings: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * num_nodes
+
+    # Rejection is viable while the per-row collision exponent
+    # size*(size-1)/(2P) stays small; collision-heavy rings fall back to
+    # the O(size)-per-row distinct-integer sampler.
+    rejection_ok = sizes * (sizes - 1) <= 2.0 * _REJECTION_LIMIT * pool_size
+    sparse_rows = np.flatnonzero((sizes > 0) & rejection_ok)
+    dense_rows = np.flatnonzero((sizes > 0) & ~rejection_ok)
+
+    if sparse_rows.size:
+        row_sizes = sizes[sparse_rows]
+        width = int(row_sizes.max())
+        cols = np.arange(width, dtype=np.int64)
+        # Pad columns beyond each row's size with distinct sentinels
+        # >= P so they can never collide with real draws or each other.
+        pad = cols[None, :] >= row_sizes[:, None]
+        sentinel = pool_size + cols
+
+        block = rng.integers(
+            0, pool_size, size=(sparse_rows.size, width), dtype=np.int64
+        )
+        filled = np.sort(np.where(pad, sentinel, block), axis=1)
+        bad = (np.diff(filled, axis=1) == 0).any(axis=1)
+        while bad.any():
+            count = int(bad.sum())
+            redraw = rng.integers(0, pool_size, size=(count, width), dtype=np.int64)
+            filled[bad] = np.sort(np.where(pad[bad], sentinel, redraw), axis=1)
+            bad = (np.diff(filled, axis=1) == 0).any(axis=1)
+        for pos, row in enumerate(sparse_rows):
+            rings[row] = filled[pos, : sizes[row]].copy()
+
+    for row in dense_rows:
+        size = int(sizes[row])
         if size > pool_size // 2:
-            # Dense ring: uniform subset via partial shuffle.
+            # Near-full ring: partial shuffle, O(P) per row.
             noise = rng.random(pool_size)
             picked = np.argpartition(noise, size - 1)[:size].astype(np.int64)
-            rings.append(np.sort(picked))
-            continue
-        chosen = set()
-        for r in range(pool_size - size, pool_size):
-            candidate = int(rng.integers(0, r + 1))
-            if candidate in chosen:
-                chosen.add(r)
-            else:
-                chosen.add(candidate)
-        ring = np.fromiter(chosen, dtype=np.int64, count=size)
-        ring.sort()
-        rings.append(ring)
+            picked.sort()
+            rings[row] = picked
+        else:
+            # Mid-size ring: batched distinct draws, O(size) per row.
+            rings[row] = sample_distinct_integers(pool_size, size, rng)
+
     return rings
 
 

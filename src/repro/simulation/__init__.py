@@ -1,6 +1,43 @@
-"""Monte Carlo simulation: engine, trial protocols, runners, results."""
+"""Monte Carlo simulation: engine, trial protocols, runners, results.
 
-from repro.simulation.engine import default_workers, run_trials, trials_from_env
+Performance notes
+-----------------
+The Monte Carlo stack has two execution paths:
+
+* the **legacy per-point path** (:mod:`repro.simulation.trials` +
+  :func:`run_trials`): one deployment per ``(q, p, K)`` point, kept as
+  an independent cross-check backend;
+* the **shared-deployment sweep engine** (:mod:`repro.simulation.sweep`):
+  one deployment per ``(K, trial)`` serving *all* ``(q, p)`` curves.
+  Rings are sampled once, key-overlap counts are computed once, and all
+  channel probabilities are realized from a single uniform draw per
+  candidate edge by nested thinning (``U < p``).  Marginally each curve
+  sees exactly the model of Section II; jointly the curves are coupled
+  monotonically (smaller ``p`` / larger ``q`` edge sets are subsets of
+  larger ``p`` / smaller ``q`` ones within a deployment).
+
+The coupling is deliberate common-random-numbers design: differences
+and orderings *between* curves (e.g. threshold locations in Figure 1)
+are estimated with much lower variance, and the dominant sampling cost
+is paid once instead of once per curve.  The flip side: estimates at
+the same ``(K, trial)`` are positively correlated **across curves**, so
+they must not be treated as independent when aggregating over curves.
+Across trials and across ring sizes everything remains independent.
+
+Connectivity decisions on the sweep path run on the vectorized
+min-label kernel (:func:`repro.graphs.unionfind.is_connected_pair_keys`)
+directly over int64 pair keys — no per-edge Python loop and no Graph
+construction.  Work is sharded by whole ``K`` columns
+(:func:`repro.simulation.engine.run_batches`), so process/IPC overhead
+is amortized over ``trials * len(curves)`` point evaluations.
+"""
+
+from repro.simulation.engine import (
+    default_workers,
+    run_batches,
+    run_trials,
+    trials_from_env,
+)
 from repro.simulation.estimators import BernoulliEstimate, wilson_interval
 from repro.simulation.results import (
     CurvePoint,
@@ -15,6 +52,13 @@ from repro.simulation.runners import (
     estimate_min_degree,
     sample_degree_counts,
 )
+from repro.simulation.sweep import (
+    SweepSpec,
+    run_sweep_trials,
+    sweep_connectivity_estimates,
+    sweep_curve_masks,
+    sweep_deployment_outcomes,
+)
 from repro.simulation.trials import (
     connectivity_trial,
     degree_count_trial,
@@ -28,6 +72,7 @@ from repro.simulation.trials import (
 __all__ = [
     "default_workers",
     "run_trials",
+    "run_batches",
     "trials_from_env",
     "BernoulliEstimate",
     "wilson_interval",
@@ -40,6 +85,11 @@ __all__ = [
     "estimate_k_connectivity",
     "estimate_min_degree",
     "sample_degree_counts",
+    "SweepSpec",
+    "run_sweep_trials",
+    "sweep_connectivity_estimates",
+    "sweep_curve_masks",
+    "sweep_deployment_outcomes",
     "connectivity_trial",
     "degree_count_trial",
     "isolated_count_trial",

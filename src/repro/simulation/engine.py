@@ -19,7 +19,7 @@ import numpy as np
 from repro.exceptions import SimulationError
 from repro.utils.rng import trial_seed_sequence
 
-__all__ = ["run_trials", "default_workers", "trials_from_env"]
+__all__ = ["run_trials", "run_batches", "default_workers", "trials_from_env"]
 
 T = TypeVar("T")
 TrialFn = Callable[[np.random.Generator], T]
@@ -111,3 +111,31 @@ def run_trials(
             for index, outcome in zip(chunk, future.result()):
                 results[index] = outcome
     return results
+
+
+def run_batches(
+    fn: Callable[[T], object],
+    batches: Sequence[T],
+    workers: Optional[int] = None,
+) -> List:
+    """Run ``fn(batch)`` for every work unit; return results in order.
+
+    The coarse-grained sibling of :func:`run_trials`: each batch is a
+    self-contained column of work (e.g. all trials of one ring size in
+    the sweep engine), so process fan-out and IPC are amortized over
+    the whole column instead of paid per trial.  *fn* must be picklable
+    for ``workers > 1``; batches carry their own deterministic seeds, so
+    results do not depend on worker count.
+    """
+    batches = list(batches)
+    if not batches:
+        return []
+    workers = default_workers() if workers is None else int(workers)
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, len(batches))
+    if workers == 1:
+        return [fn(batch) for batch in batches]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, batch) for batch in batches]
+        return [future.result() for future in futures]

@@ -19,7 +19,14 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-__all__ = ["RandomState", "as_generator", "spawn_generators", "spawn_seed_sequences"]
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "spawn_seed_sequences",
+    "grid_seed_sequence",
+    "sample_distinct_integers",
+]
 
 RandomState = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
@@ -77,3 +84,59 @@ def trial_seed_sequence(
         raise ValueError(f"trial_index must be >= 0, got {trial_index}")
     entropy = 0 if root is None else root
     return np.random.SeedSequence(entropy, spawn_key=(trial_index,))
+
+
+def grid_seed_sequence(root: Optional[int], *key: int) -> np.random.SeedSequence:
+    """Deterministic seed for a multi-index grid cell.
+
+    Generalizes :func:`trial_seed_sequence` to higher-dimensional
+    addressing: cell ``(i, j, ...)`` of a sweep rooted at *root* gets
+    ``SeedSequence(root, spawn_key=(i, j, ...))``.  The sweep engine
+    keys deployments by ``(ring_index, trial_index)``, so any cell can
+    be reproduced in isolation and results are independent of how cells
+    are distributed over workers.
+    """
+    if not key:
+        raise ValueError("grid_seed_sequence requires at least one index")
+    if any(k < 0 for k in key):
+        raise ValueError(f"grid indices must be >= 0, got {key}")
+    entropy = 0 if root is None else root
+    return np.random.SeedSequence(entropy, spawn_key=tuple(int(k) for k in key))
+
+
+def sample_distinct_integers(
+    high: int, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random ``size``-subset of ``{0, ..., high-1}``, sorted.
+
+    Vectorized replacement for per-element Floyd sampling: draw i.i.d.
+    uniforms in batches and keep the first *size* distinct values in
+    draw order.  By exchangeability of i.i.d. draws, the first ``m``
+    distinct values of the stream are exactly a uniform ``m``-subset,
+    so the sampler is unbiased for any ``size <= high``.  Expected cost
+    is ``O(size)`` draws while ``size / high`` stays modest (the sparse
+    regime it is used in); the batch size self-adjusts otherwise.
+    """
+    if size < 0:
+        raise ValueError(f"size must be >= 0, got {size}")
+    if high < size:
+        raise ValueError(f"cannot draw {size} distinct values from range({high})")
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    if size == high:
+        return np.arange(high, dtype=np.int64)
+    drawn = np.empty(0, dtype=np.int64)
+    have = 0
+    while True:
+        deficit = size - have
+        # Small multiplicative + additive slack keeps the expected number
+        # of passes at ~1 without overdrawing in the common sparse case.
+        batch = rng.integers(0, high, size=deficit + deficit // 8 + 16, dtype=np.int64)
+        drawn = np.concatenate([drawn, batch])
+        uniq, first_pos = np.unique(drawn, return_index=True)
+        if uniq.size >= size:
+            keep = np.sort(first_pos)[:size]
+            out = drawn[keep]
+            out.sort()
+            return out
+        have = uniq.size

@@ -7,6 +7,8 @@ import pytest
 
 from repro.utils.rng import (
     as_generator,
+    grid_seed_sequence,
+    sample_distinct_integers,
     spawn_generators,
     spawn_seed_sequences,
     trial_seed_sequence,
@@ -87,3 +89,68 @@ class TestTrialSeedSequence:
     def test_negative_index_raises(self):
         with pytest.raises(ValueError):
             trial_seed_sequence(0, -1)
+
+
+class TestGridSeedSequence:
+    def test_matches_trial_seed_sequence_in_1d(self):
+        a = np.random.default_rng(grid_seed_sequence(9, 4)).random(6)
+        b = np.random.default_rng(trial_seed_sequence(9, 4)).random(6)
+        assert np.array_equal(a, b)
+
+    def test_cells_distinct_and_reproducible(self):
+        a = np.random.default_rng(grid_seed_sequence(0, 1, 2)).random(6)
+        b = np.random.default_rng(grid_seed_sequence(0, 2, 1)).random(6)
+        c = np.random.default_rng(grid_seed_sequence(0, 1, 2)).random(6)
+        assert not np.array_equal(a, b)
+        assert np.array_equal(a, c)
+
+    def test_none_root_equals_zero_root(self):
+        a = np.random.default_rng(grid_seed_sequence(None, 3, 5)).random(4)
+        b = np.random.default_rng(grid_seed_sequence(0, 3, 5)).random(4)
+        assert np.array_equal(a, b)
+
+    def test_invalid_keys_raise(self):
+        with pytest.raises(ValueError):
+            grid_seed_sequence(0)
+        with pytest.raises(ValueError):
+            grid_seed_sequence(0, 1, -2)
+
+
+class TestSampleDistinctIntegers:
+    def test_exact_subset_properties(self):
+        rng = np.random.default_rng(0)
+        out = sample_distinct_integers(1000, 50, rng)
+        assert out.shape == (50,) and out.dtype == np.int64
+        assert (np.diff(out) > 0).all()
+        assert out.min() >= 0 and out.max() < 1000
+
+    def test_degenerate_sizes(self):
+        rng = np.random.default_rng(1)
+        assert sample_distinct_integers(10, 0, rng).size == 0
+        assert np.array_equal(
+            sample_distinct_integers(7, 7, rng), np.arange(7)
+        )
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            sample_distinct_integers(5, 6, rng)
+        with pytest.raises(ValueError):
+            sample_distinct_integers(5, -1, rng)
+
+    def test_uniform_marginal(self):
+        # Every element should be included with probability size/high.
+        rng = np.random.default_rng(3)
+        high, size, reps = 40, 10, 3000
+        counts = np.zeros(high)
+        for _ in range(reps):
+            counts[sample_distinct_integers(high, size, rng)] += 1
+        rate = counts / reps
+        # Binomial(3000, 0.25) std ≈ 0.0079; 5 sigma.
+        assert np.abs(rate - size / high).max() < 0.04
+
+    def test_high_density_still_exact(self):
+        # size close to high forces many collision rounds; stays exact.
+        rng = np.random.default_rng(4)
+        out = sample_distinct_integers(20, 19, rng)
+        assert (np.diff(out) > 0).all() and out.size == 19
