@@ -17,7 +17,11 @@ The package layers:
 * :mod:`repro.wsn` — deployed networks, routing, failures, capture attacks;
 * :mod:`repro.core` — Theorem 1, Lemmas 1/7/8/9, design guidelines (Eq. 9);
 * :mod:`repro.simulation` — the Monte Carlo engine and trial protocols;
-* :mod:`repro.experiments` — every figure/table of the paper, runnable.
+* :mod:`repro.study` — the declarative Scenario/Study layer: every
+  experiment as a frozen JSON config compiled onto shared-deployment
+  sweeps;
+* :mod:`repro.experiments` — every figure/table of the paper, declared
+  as scenarios and runnable.
 
 Quickstart::
 
@@ -50,6 +54,7 @@ from repro.core.theorem1 import (
 from repro.keygraphs.schemes import EschenauerGligorScheme, QCompositeScheme
 from repro.channels.onoff import OnOffChannel
 from repro.channels.disk import DiskChannel
+from repro.study import MetricSpec, Scenario, Study
 from repro.wsn.network import SecureWSN
 
 __version__ = "1.0.0"
@@ -71,6 +76,9 @@ __all__ = [
     "QCompositeScheme",
     "OnOffChannel",
     "DiskChannel",
+    "MetricSpec",
+    "Scenario",
+    "Study",
     "SecureWSN",
     "__version__",
 ]

@@ -1,27 +1,45 @@
 """Command-line interface: ``repro`` / ``python -m repro``.
 
+Every registered experiment is a Scenario/Study declaration over the
+shared-deployment sweep compiler (see :mod:`repro.study`), so the CLI
+is thin: it looks declarations up, applies overrides, runs, renders.
+
 Subcommands
 -----------
 ``repro list``
     Show every registered experiment with its paper anchor.
-``repro run NAME [--trials N] [--workers N] [--seed N] [--save PATH]``
-    Run one experiment and print its rendered table(s).
+``repro run NAME [--trials N] [--workers N] [--seed N] [--set k=v ...] [--save PATH]``
+    Run one experiment and print its rendered table(s).  ``--set``
+    overrides any keyword of the experiment's run function, with JSON
+    values: ``repro run theorem1 --set trials=200 --set "ks=[1,2]"``.
+    A leading ``grid.`` namespace is accepted and stripped, so
+    ``--set grid.trials=200`` is equivalent.
 ``repro all [--trials N] ...``
     Run the full suite in registry order (quick trial counts unless
     overridden), printing each block — the "regenerate the evaluation
     section" button.
+``repro study FILE.json [--workers N] [--set k=v ...] [--save PATH]``
+    Run scenarios straight from JSON — one scenario object, a list, or
+    ``{"scenarios": [...]}`` — with no accompanying Python.  ``--set``
+    overrides a field on *every* scenario in the file (e.g. ``--set
+    trials=50``).  Results render as generic per-metric tables;
+    ``--save`` writes the full per-trial value tensors as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
+import pathlib
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.exceptions import ExperimentError, ParameterError
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.simulation.results import save_result
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_overrides"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,13 +62,57 @@ def build_parser() -> argparse.ArgumentParser:
         if cmd == "run":
             p.add_argument("name", help="experiment name (see `repro list`)")
             p.add_argument("--save", help="write the result JSON to this path")
+            p.add_argument(
+                "--set",
+                dest="overrides",
+                action="append",
+                default=[],
+                metavar="KEY=VALUE",
+                help="override any run() keyword (JSON value), repeatable",
+            )
         p.add_argument("--trials", type=int, default=None, help="Monte Carlo trials")
         p.add_argument("--workers", type=int, default=None, help="process count")
         p.add_argument("--seed", type=int, default=None, help="root seed override")
+
+    p = sub.add_parser("study", help="run scenarios from a JSON file")
+    p.add_argument("file", help="path to a scenario/study JSON file")
+    p.add_argument("--workers", type=int, default=None, help="process count")
+    p.add_argument("--save", help="write the StudyResult JSON to this path")
+    p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a scenario field on every scenario (JSON value), repeatable",
+    )
     return parser
 
 
-def _run_kwargs(args: argparse.Namespace) -> dict:
+def parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    """Parse ``--set key=value`` pairs; values are JSON, else strings.
+
+    A leading ``grid.`` namespace is stripped (``grid.trials`` →
+    ``trials``), matching the scenario-file vocabulary.
+    """
+    out: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ExperimentError(
+                f"--set expects KEY=VALUE, got {pair!r}"
+            )
+        if key.startswith("grid."):
+            key = key[len("grid."):]
+        try:
+            value: object = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        out[key] = value
+    return out
+
+
+def _run_kwargs(args: argparse.Namespace, run_fn=None) -> dict:
     kwargs: dict = {}
     if args.trials is not None:
         kwargs["trials"] = args.trials
@@ -58,7 +120,60 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         kwargs["workers"] = args.workers
     if getattr(args, "seed", None) is not None:
         kwargs["seed"] = args.seed
+    overrides = parse_overrides(getattr(args, "overrides", []) or [])
+    if overrides and run_fn is not None:
+        params = inspect.signature(run_fn).parameters
+        accepts_var_kw = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        )
+        unknown = set(overrides) - set(params)
+        if unknown and not accepts_var_kw:
+            raise ExperimentError(
+                f"unknown --set keys {sorted(unknown)}; "
+                f"valid parameters: {sorted(params)}"
+            )
+    kwargs.update(overrides)
     return kwargs
+
+
+def _strip_unsupported(spec, kwargs: dict) -> dict:
+    """Drop engine knobs an experiment does not accept (e.g. numeric kstar)."""
+    params = inspect.signature(spec.run).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return kwargs
+    return {k: v for k, v in kwargs.items() if k in params}
+
+
+def _run_study_file(args: argparse.Namespace) -> int:
+    from repro.study import Study, render_study_result
+
+    path = pathlib.Path(args.file)
+    if not path.exists():
+        raise ExperimentError(f"no such study file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"study file {path} does not parse as JSON: {exc}")
+
+    overrides = parse_overrides(args.overrides or [])
+    if overrides:
+        if isinstance(data, dict) and "scenarios" in data:
+            scenarios = data["scenarios"]
+        elif isinstance(data, list):
+            scenarios = data
+        else:
+            scenarios = [data]
+        for scenario in scenarios:
+            if isinstance(scenario, dict):
+                scenario.update(overrides)
+
+    study = Study.from_dict(data)
+    result = study.run(workers=args.workers)
+    print(render_study_result(result))
+    if args.save:
+        result.save(args.save)
+        print(f"\nsaved: {args.save}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -71,11 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         spec = get_experiment(args.name)
-        kwargs = _run_kwargs(args)
-        if spec.name == "kstar":
-            kwargs.pop("trials", None)  # purely numeric experiment
-            kwargs.pop("workers", None)
-            kwargs.pop("seed", None)
+        kwargs = _strip_unsupported(spec, _run_kwargs(args, spec.run))
         result = spec.run(**kwargs)
         print(spec.render(result))
         if args.save:
@@ -85,16 +196,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "all":
         for spec in list_experiments():
-            kwargs = _run_kwargs(args)
-            if spec.name == "kstar":
-                kwargs.pop("trials", None)
-                kwargs.pop("workers", None)
-                kwargs.pop("seed", None)
+            kwargs = _strip_unsupported(spec, _run_kwargs(args))
             print(f"=== {spec.name} — {spec.paper_anchor} ===")
             result = spec.run(**kwargs)
             print(spec.render(result))
             print()
         return 0
+
+    if args.command == "study":
+        return _run_study_file(args)
 
     return 2  # pragma: no cover - argparse enforces the choices
 

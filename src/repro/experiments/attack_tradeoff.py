@@ -21,15 +21,22 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channels.onoff import OnOffChannel
+from repro.exceptions import ParameterError
 from repro.keygraphs.schemes import QCompositeScheme
 from repro.simulation.engine import run_trials, trials_from_env
 from repro.simulation.estimators import BernoulliEstimate
 from repro.simulation.results import CurvePoint, ExperimentResult
+from repro.study import MetricSpec, Scenario, Study
 from repro.utils.tables import format_table
 from repro.wsn.attacks import analytic_compromise_fraction, capture_attack
 from repro.wsn.network import SecureWSN
 
-__all__ = ["run_attack_tradeoff", "render_attack_tradeoff", "attack_trial"]
+__all__ = [
+    "build_attack_study",
+    "run_attack_tradeoff",
+    "render_attack_tradeoff",
+    "attack_trial",
+]
 
 
 def attack_trial(
@@ -47,6 +54,48 @@ def attack_trial(
     return (outcome.links_compromised, outcome.links_evaluated)
 
 
+def build_attack_study(
+    trials: Optional[int] = None,
+    qs: Sequence[int] = (1, 2, 3),
+    captured_grid: Sequence[int] = (10, 50, 100, 200),
+    num_nodes: int = 400,
+    design_nodes: int = 1000,
+    pool_size: int = 10000,
+    seed: int = 20170611,
+) -> Study:
+    """One scenario per ``q``; the capture grid is a nested metric set.
+
+    Within a deployment the captured sets at increasing levels are
+    prefixes of one random permutation, so the tradeoff curve over
+    ``#captured`` is monotone per sampled world — common random numbers
+    along the attack axis, exactly as nested thinning provides them
+    along the channel axis.
+    """
+    from repro.core.design import minimal_key_ring_size
+
+    trials = trials if trials is not None else trials_from_env(20, full=100)
+    scenarios = []
+    for q in qs:
+        ring = minimal_key_ring_size(design_nodes, pool_size, q, 1.0)
+        metrics = []
+        for captured in captured_grid:
+            metrics.append(MetricSpec("attack_compromised", captured=captured))
+            metrics.append(MetricSpec("attack_evaluated", captured=captured))
+        scenarios.append(
+            Scenario(
+                name=f"attack_q{q}",
+                num_nodes=num_nodes,
+                pool_size=pool_size,
+                ring_sizes=(ring,),
+                curves=((q, 1.0),),
+                metrics=tuple(metrics),
+                trials=trials,
+                seed=seed,
+            )
+        )
+    return Study(tuple(scenarios))
+
+
 def run_attack_tradeoff(
     trials: Optional[int] = None,
     qs: Sequence[int] = (1, 2, 3),
@@ -56,34 +105,52 @@ def run_attack_tradeoff(
     pool_size: int = 10000,
     seed: int = 20170611,
     workers: Optional[int] = None,
+    backend: str = "study",
 ) -> ExperimentResult:
     """Sweep (q, #captured) at connectivity-equalized ring sizes.
 
     Each ``q`` uses its own ``K*(q)`` — the Eq. (9) minimal ring for the
     *design* network size (``design_nodes``; the attack simulation runs
     on ``num_nodes`` sensors since the per-link compromise statistics do
-    not depend on ``n``).
+    not depend on ``n``).  ``backend="legacy"`` keeps the original
+    SecureWSN-based per-point attack simulation as a cross-check.
     """
+    if backend not in ("study", "legacy"):
+        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     from repro.core.design import minimal_key_ring_size
 
     trials = trials if trials is not None else trials_from_env(20, full=100)
     ring_sizes = {
         q: minimal_key_ring_size(design_nodes, pool_size, q, 1.0) for q in qs
     }
+    if backend == "study":
+        study = build_attack_study(
+            trials, qs, captured_grid, num_nodes, design_nodes, pool_size, seed
+        )
+        study_result = study.run(workers=workers)
     points: List[CurvePoint] = []
     for q in qs:
         ring = ring_sizes[q]
         for captured in captured_grid:
-            outcomes = run_trials(
-                functools.partial(
-                    attack_trial, num_nodes, ring, pool_size, q, captured
-                ),
-                trials,
-                seed=seed + q * 1000 + captured,
-                workers=workers,
-            )
-            compromised = sum(c for c, _ in outcomes)
-            evaluated = sum(e for _, e in outcomes)
+            if backend == "study":
+                scenario_result = study_result[f"attack_q{q}"]
+                compromised = scenario_result.successes(
+                    f"attack_compromised[captured={captured}]", (q, 1.0), ring
+                )
+                evaluated = scenario_result.successes(
+                    f"attack_evaluated[captured={captured}]", (q, 1.0), ring
+                )
+            else:
+                outcomes = run_trials(
+                    functools.partial(
+                        attack_trial, num_nodes, ring, pool_size, q, captured
+                    ),
+                    trials,
+                    seed=seed + q * 1000 + captured,
+                    workers=workers,
+                )
+                compromised = sum(c for c, _ in outcomes)
+                evaluated = sum(e for _, e in outcomes)
             analytic = analytic_compromise_fraction(ring, pool_size, q, captured)
             points.append(
                 CurvePoint(
@@ -110,6 +177,7 @@ def run_attack_tradeoff(
             "design_nodes": design_nodes,
             "pool_size": pool_size,
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

@@ -32,10 +32,50 @@ from repro.probability.hypergeometric import overlap_survival
 from repro.simulation.engine import run_trials, trials_from_env
 from repro.simulation.estimators import BernoulliEstimate
 from repro.simulation.results import CurvePoint, ExperimentResult
+from repro.study import Scenario, Study
 from repro.utils.tables import format_table
 import functools
 
-__all__ = ["run_coupling_check", "render_coupling_check", "coupling_trial"]
+__all__ = [
+    "build_coupling_study",
+    "run_coupling_check",
+    "render_coupling_check",
+    "coupling_trial",
+]
+
+
+def build_coupling_study(
+    trials: Optional[int] = None,
+    num_nodes_grid: Sequence[int] = (100, 300, 1000),
+    key_ring_size: int = 80,
+    pool_size: int = 10000,
+    q: int = 2,
+    seed: int = 20170610,
+) -> Study:
+    """One ``"coupling"`` protocol scenario per network size.
+
+    The coupled uniform/binomial ring pair is *jointly structured*
+    randomness — it cannot be expressed as a post-filter over shared
+    deployments — so it rides the study layer as a registered protocol
+    (:mod:`repro.study.protocols`), keeping the scenario JSON-round-
+    trippable and the execution on the same deterministic trial engine.
+    """
+    trials = trials if trials is not None else trials_from_env(40, full=200)
+    return Study(
+        tuple(
+            Scenario(
+                name=f"coupling_n{n}",
+                kind="protocol",
+                protocol="coupling",
+                protocol_params={"key_ring_size": key_ring_size, "q": q},
+                num_nodes=n,
+                pool_size=pool_size,
+                trials=trials,
+                seed=seed + n,
+            )
+            for n in num_nodes_grid
+        )
+    )
 
 
 def coupling_trial(
@@ -67,19 +107,42 @@ def run_coupling_check(
     q: int = 2,
     seed: int = 20170610,
     workers: Optional[int] = None,
+    backend: str = "study",
 ) -> ExperimentResult:
-    """Measure coupling success and subset validity across ``n``."""
+    """Measure coupling success and subset validity across ``n``.
+
+    The ``"study"`` backend runs the registered ``"coupling"``
+    protocol through the study layer (same per-trial seeds, so the two
+    backends are bit-identical); ``backend="legacy"`` calls the trial
+    engine directly.
+    """
+    from repro.exceptions import ParameterError
+
+    if backend not in ("study", "legacy"):
+        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     trials = trials if trials is not None else trials_from_env(40, full=200)
+    if backend == "study":
+        study = build_coupling_study(
+            trials, num_nodes_grid, key_ring_size, pool_size, q, seed
+        )
+        study_result = study.run(workers=workers)
     points: List[CurvePoint] = []
     for n in num_nodes_grid:
-        outcomes = run_trials(
-            functools.partial(coupling_trial, n, key_ring_size, pool_size, q),
-            trials,
-            seed=seed + n,
-            workers=workers,
-        )
-        successes = sum(1 for ok, _ in outcomes if ok)
-        violations = sum(1 for ok, sub in outcomes if ok and not sub)
+        if backend == "study":
+            scenario_result = study_result[f"coupling_n{n}"]
+            success_vals = scenario_result.series("success")
+            subset_vals = scenario_result.series("subset_ok")
+            successes = int(success_vals.sum())
+            violations = int(((success_vals == 1.0) & (subset_vals == 0.0)).sum())
+        else:
+            outcomes = run_trials(
+                functools.partial(coupling_trial, n, key_ring_size, pool_size, q),
+                trials,
+                seed=seed + n,
+                workers=workers,
+            )
+            successes = sum(1 for ok, _ in outcomes if ok)
+            violations = sum(1 for ok, sub in outcomes if ok and not sub)
         x = binomial_key_probability(n, key_ring_size, pool_size)
         y = coupled_er_probability(x, pool_size, q)
         s = overlap_survival(key_ring_size, pool_size, q)
@@ -104,6 +167,7 @@ def run_coupling_check(
             "pool_size": pool_size,
             "q": q,
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

@@ -19,15 +19,51 @@ import numpy as np
 
 from repro.core.degree_distribution import lambda_nh, lambda_nh_exact
 from repro.core.scaling import channel_prob_for_alpha
+from repro.exceptions import ParameterError
 from repro.params import QCompositeParams
 from repro.probability.poisson import poisson_total_variation
 from repro.simulation.engine import trials_from_env
 from repro.simulation.estimators import BernoulliEstimate
 from repro.simulation.results import CurvePoint, ExperimentResult
 from repro.simulation.runners import sample_degree_counts
+from repro.study import MetricSpec, Scenario, Study
 from repro.utils.tables import format_table
 
-__all__ = ["run_degree_poisson", "render_degree_poisson"]
+__all__ = ["build_degree_poisson_study", "run_degree_poisson", "render_degree_poisson"]
+
+
+def build_degree_poisson_study(
+    trials: Optional[int] = None,
+    degrees: Sequence[int] = (0, 1, 2),
+    alpha: float = 0.0,
+    num_nodes: int = 1000,
+    key_ring_size: int = 60,
+    pool_size: int = 10000,
+    q: int = 2,
+    seed: int = 20170609,
+) -> Study:
+    """One scenario; every degree ``h`` is one metric of one deployment.
+
+    All ``N_h`` counts come from a single ``np.bincount`` per sampled
+    world — the legacy path resampled the whole deployment once per
+    ``h``.
+    """
+    trials = trials if trials is not None else trials_from_env(120, full=600)
+    p = channel_prob_for_alpha(num_nodes, key_ring_size, pool_size, q, alpha, k=1)
+    return Study(
+        (
+            Scenario(
+                name="degree_poisson",
+                num_nodes=num_nodes,
+                pool_size=pool_size,
+                ring_sizes=(key_ring_size,),
+                curves=((q, p),),
+                metrics=tuple(MetricSpec("degree_count", h=h) for h in degrees),
+                trials=trials,
+                seed=seed,
+            ),
+        )
+    )
 
 
 def run_degree_poisson(
@@ -40,8 +76,15 @@ def run_degree_poisson(
     q: int = 2,
     seed: int = 20170609,
     workers: Optional[int] = None,
+    backend: str = "study",
 ) -> ExperimentResult:
-    """Sample degree-``h`` counts at the critical scaling (α = 0 default)."""
+    """Sample degree-``h`` counts at the critical scaling (α = 0 default).
+
+    ``backend="legacy"`` keeps the original one-deployment-per-``h``
+    sampling as a cross-check.
+    """
+    if backend not in ("study", "legacy"):
+        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     trials = trials if trials is not None else trials_from_env(120, full=600)
     p = channel_prob_for_alpha(num_nodes, key_ring_size, pool_size, q, alpha, k=1)
     params = QCompositeParams(
@@ -52,12 +95,22 @@ def run_degree_poisson(
         channel_prob=p,
     )
     t = params.edge_probability()
+    if backend == "study":
+        study = build_degree_poisson_study(
+            trials, degrees, alpha, num_nodes, key_ring_size, pool_size, q, seed
+        )
+        scenario_result = study.run(workers=workers)["degree_poisson"]
 
     points: List[CurvePoint] = []
     for h in degrees:
-        counts = sample_degree_counts(
-            params, h, trials, seed=seed + h, workers=workers
-        )
+        if backend == "study":
+            counts = scenario_result.series(
+                f"degree_count[h={h}]", (q, p), key_ring_size
+            ).astype(np.int64)
+        else:
+            counts = sample_degree_counts(
+                params, h, trials, seed=seed + h, workers=workers
+            )
         lam = lambda_nh(num_nodes, t, h)
         lam_exact = lambda_nh_exact(num_nodes, t, h)
         histogram = np.bincount(counts)
@@ -92,6 +145,7 @@ def run_degree_poisson(
             "q": q,
             "channel_prob": p,
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

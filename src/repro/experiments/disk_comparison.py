@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.channels.disk import DiskChannel
 from repro.core.theorem1 import predict_k_connectivity
+from repro.exceptions import ParameterError
 from repro.graphs.unionfind import is_connected_edges
 from repro.keygraphs.rings import sample_uniform_rings
 from repro.keygraphs.uniform_graph import edges_from_rings
@@ -32,10 +33,53 @@ from repro.simulation.engine import run_trials, trials_from_env
 from repro.simulation.estimators import BernoulliEstimate
 from repro.simulation.results import CurvePoint, ExperimentResult
 from repro.simulation.runners import estimate_connectivity
+from repro.study import MetricSpec, Scenario, Study
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import format_table
 
-__all__ = ["run_disk_comparison", "render_disk_comparison", "disk_connectivity_trial"]
+__all__ = [
+    "build_disk_study",
+    "run_disk_comparison",
+    "render_disk_comparison",
+    "disk_connectivity_trial",
+]
+
+
+def build_disk_study(
+    trials: Optional[int] = None,
+    ring_sizes: Sequence[int] = (40, 50, 60, 70, 80),
+    channel_prob: float = 0.5,
+    num_nodes: int = 500,
+    pool_size: int = 10000,
+    q: int = 2,
+    seed: int = 20170612,
+) -> Study:
+    """Two scenarios — on/off and disk — sharing one deployment family.
+
+    Because both scenarios pin the same ``(n, P, K grid, trials,
+    seed)``, the compiler samples the key rings *once* per ``(K,
+    trial)`` and realizes both channel models on the same key graph:
+    the on/off column thresholds one uniform per candidate edge, the
+    disk column thresholds the torus distance at ``r = sqrt(p / pi)``
+    (matched marginal).  The model comparison is therefore paired
+    deployment-by-deployment — pure channel effect, no key-graph noise.
+    """
+    trials = trials if trials is not None else trials_from_env(60, full=300)
+    common = dict(
+        num_nodes=num_nodes,
+        pool_size=pool_size,
+        ring_sizes=tuple(int(r) for r in ring_sizes),
+        curves=((q, float(channel_prob)),),
+        metrics=(MetricSpec("connectivity"),),
+        trials=trials,
+        seed=seed,
+    )
+    return Study(
+        (
+            Scenario(name="disk_onoff", channel="onoff", **common),
+            Scenario(name="disk_disk", channel="disk", **common),
+        )
+    )
 
 
 def disk_connectivity_trial(
@@ -64,10 +108,22 @@ def run_disk_comparison(
     q: int = 2,
     seed: int = 20170612,
     workers: Optional[int] = None,
+    backend: str = "study",
 ) -> ExperimentResult:
-    """Sweep K under both channel models at one matched marginal ``p``."""
+    """Sweep K under both channel models at one matched marginal ``p``.
+
+    ``backend="legacy"`` keeps the original unpaired per-point
+    sampling as a cross-check.
+    """
+    if backend not in ("study", "legacy"):
+        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     trials = trials if trials is not None else trials_from_env(60, full=300)
     disk = DiskChannel.for_edge_probability(channel_prob, torus=True)
+    if backend == "study":
+        study = build_disk_study(
+            trials, ring_sizes, channel_prob, num_nodes, pool_size, q, seed
+        )
+        study_result = study.run(workers=workers)
     points: List[CurvePoint] = []
     for ring in ring_sizes:
         params = QCompositeParams(
@@ -77,23 +133,32 @@ def run_disk_comparison(
             overlap=q,
             channel_prob=channel_prob,
         )
-        onoff_est = estimate_connectivity(
-            params, trials, seed=seed + ring, workers=workers
-        )
-        disk_outcomes = run_trials(
-            functools.partial(
-                disk_connectivity_trial,
-                num_nodes,
-                ring,
-                pool_size,
-                q,
-                disk.radius,
-            ),
-            trials,
-            seed=seed + 100000 + ring,
-            workers=workers,
-        )
-        disk_est = BernoulliEstimate.from_counts(sum(disk_outcomes), trials)
+        if backend == "study":
+            curve = (q, channel_prob)
+            onoff_est = study_result["disk_onoff"].bernoulli(
+                "connectivity", curve, ring
+            )
+            disk_est = study_result["disk_disk"].bernoulli(
+                "connectivity", curve, ring
+            )
+        else:
+            onoff_est = estimate_connectivity(
+                params, trials, seed=seed + ring, workers=workers
+            )
+            disk_outcomes = run_trials(
+                functools.partial(
+                    disk_connectivity_trial,
+                    num_nodes,
+                    ring,
+                    pool_size,
+                    q,
+                    disk.radius,
+                ),
+                trials,
+                seed=seed + 100000 + ring,
+                workers=workers,
+            )
+            disk_est = BernoulliEstimate.from_counts(sum(disk_outcomes), trials)
         points.append(
             CurvePoint(
                 point={
@@ -118,6 +183,7 @@ def run_disk_comparison(
             "q": q,
             "radius": disk.radius,
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

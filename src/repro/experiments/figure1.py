@@ -26,12 +26,13 @@ from repro.params import QCompositeParams
 from repro.simulation.engine import trials_from_env
 from repro.simulation.results import CurvePoint, ExperimentResult
 from repro.simulation.runners import estimate_connectivity
-from repro.simulation.sweep import SweepSpec, sweep_connectivity_estimates
+from repro.study import MetricSpec, Scenario, Study
 from repro.utils.tables import format_table
 
 __all__ = [
     "FIGURE1_CURVES",
     "default_ring_sizes",
+    "build_figure1_study",
     "run_figure1",
     "render_figure1",
     "empirical_crossings",
@@ -56,6 +57,34 @@ def default_ring_sizes(step: int = 4) -> List[int]:
     return list(range(28, 89, step))
 
 
+def build_figure1_study(
+    trials: Optional[int] = None,
+    ring_sizes: Optional[Sequence[int]] = None,
+    curves: Optional[Sequence[Tuple[int, float]]] = None,
+    seed: int = 20170605,
+    num_nodes: int = NUM_NODES,
+    pool_size: int = POOL_SIZE,
+) -> Study:
+    """Figure 1 as a declaration: one scenario, six curves, one metric."""
+    trials = trials if trials is not None else trials_from_env(60, full=500)
+    ring_sizes = list(ring_sizes) if ring_sizes is not None else default_ring_sizes()
+    curves = list(curves) if curves is not None else list(FIGURE1_CURVES)
+    return Study(
+        (
+            Scenario(
+                name="figure1",
+                num_nodes=num_nodes,
+                pool_size=pool_size,
+                ring_sizes=tuple(ring_sizes),
+                curves=tuple((int(q), float(p)) for q, p in curves),
+                metrics=(MetricSpec("connectivity"),),
+                trials=trials,
+                seed=seed,
+            ),
+        )
+    )
+
+
 def run_figure1(
     trials: Optional[int] = None,
     ring_sizes: Optional[Sequence[int]] = None,
@@ -64,14 +93,15 @@ def run_figure1(
     workers: Optional[int] = None,
     num_nodes: int = NUM_NODES,
     pool_size: int = POOL_SIZE,
-    backend: str = "sweep",
+    backend: str = "study",
 ) -> ExperimentResult:
     """Run the Figure 1 sweep and return all points.
 
-    The default ``"sweep"`` backend evaluates all curves on shared
-    deployments (one ring sample + overlap count per ``(K, trial)``,
-    nested channel thinning — see :mod:`repro.simulation.sweep`), which
-    is several times faster and couples the curves for lower-variance
+    The default ``"study"`` backend (alias ``"sweep"``) compiles the
+    declaration from :func:`build_figure1_study` onto the shared-
+    deployment sweep: one ring sample + overlap count per ``(K,
+    trial)`` serves all curves via nested channel thinning, which is
+    several times faster and couples the curves for lower-variance
     comparisons.  ``backend="legacy"`` runs the original per-point
     path, kept as an independent cross-check.
 
@@ -81,22 +111,17 @@ def run_figure1(
     trials = trials if trials is not None else trials_from_env(60, full=500)
     ring_sizes = list(ring_sizes) if ring_sizes is not None else default_ring_sizes()
     curves = list(curves) if curves is not None else list(FIGURE1_CURVES)
-    if backend not in ("sweep", "legacy"):
+    if backend not in ("study", "sweep", "legacy"):
         raise ParameterError(
-            f"unknown backend {backend!r}; use 'sweep' or 'legacy'"
+            f"unknown backend {backend!r}; use 'study', 'sweep', or 'legacy'"
         )
 
     curves = [(int(q), float(p)) for q, p in curves]
-    if backend == "sweep":
-        spec = SweepSpec(
-            num_nodes=num_nodes,
-            pool_size=pool_size,
-            ring_sizes=tuple(ring_sizes),
-            curves=tuple(curves),
-            trials=trials,
-            seed=seed,
+    if backend != "legacy":
+        study = build_figure1_study(
+            trials, ring_sizes, curves, seed, num_nodes, pool_size
         )
-        sweep_estimates = sweep_connectivity_estimates(spec, workers=workers)
+        scenario_result = study.run(workers=workers)["figure1"]
 
     points: List[CurvePoint] = []
     for q, p in curves:
@@ -108,8 +133,10 @@ def run_figure1(
                 overlap=q,
                 channel_prob=p,
             )
-            if backend == "sweep":
-                estimate = sweep_estimates[(q, p)][ring]
+            if backend != "legacy":
+                estimate = scenario_result.bernoulli(
+                    "connectivity", (q, p), ring
+                )
             else:
                 estimate = estimate_connectivity(
                     params, trials, seed=seed + ring + int(1000 * p) + 100000 * q,

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import ParameterError
 from repro.graphs.unionfind import UnionFind
 from repro.params import QCompositeParams
 from repro.probability.hypergeometric import overlap_survival
@@ -26,9 +27,11 @@ from repro.simulation.engine import run_trials, trials_from_env
 from repro.simulation.estimators import BernoulliEstimate
 from repro.simulation.results import CurvePoint, ExperimentResult
 from repro.simulation.trials import sample_secure_edges
+from repro.study import MetricSpec, Scenario, Study
 from repro.utils.tables import format_table
 
 __all__ = [
+    "build_giant_study",
     "run_giant_component",
     "render_giant_component",
     "giant_component_trial",
@@ -64,6 +67,60 @@ def giant_component_trial(
     return uf.component_sizes()[0] / params.num_nodes
 
 
+def _channel_probs(
+    mean_degrees: Sequence[float],
+    num_nodes: int,
+    key_ring_size: int,
+    pool_size: int,
+    q: int,
+) -> List[float]:
+    s = overlap_survival(key_ring_size, pool_size, q)
+    probs = []
+    for c in mean_degrees:
+        p = c / (num_nodes * s)
+        if not 0.0 < p <= 1.0:
+            raise ValueError(
+                f"mean degree {c} needs channel prob {p:.4g} outside (0, 1]; "
+                "adjust key_ring_size"
+            )
+        probs.append(p)
+    return probs
+
+
+def build_giant_study(
+    trials: Optional[int] = None,
+    mean_degrees: Sequence[float] = (0.5, 0.8, 1.0, 1.3, 2.0, 3.0, 5.0),
+    num_nodes: int = 1000,
+    key_ring_size: int = 60,
+    pool_size: int = 10000,
+    q: int = 2,
+    seed: int = 20170613,
+) -> Study:
+    """The whole phase-transition sweep as curves of one deployment.
+
+    Every mean degree ``c`` differs only in the channel probability, so
+    the entire evolution is measured on *shared* sampled key graphs
+    with nested thinning — the emergence curve is monotone within each
+    deployment by construction.
+    """
+    trials = trials if trials is not None else trials_from_env(40, full=200)
+    probs = _channel_probs(mean_degrees, num_nodes, key_ring_size, pool_size, q)
+    return Study(
+        (
+            Scenario(
+                name="giant",
+                num_nodes=num_nodes,
+                pool_size=pool_size,
+                ring_sizes=(key_ring_size,),
+                curves=tuple((q, p) for p in probs),
+                metrics=(MetricSpec("giant_fraction"),),
+                trials=trials,
+                seed=seed,
+            ),
+        )
+    )
+
+
 def run_giant_component(
     trials: Optional[int] = None,
     mean_degrees: Sequence[float] = (0.5, 0.8, 1.0, 1.3, 2.0, 3.0, 5.0),
@@ -73,23 +130,26 @@ def run_giant_component(
     q: int = 2,
     seed: int = 20170613,
     workers: Optional[int] = None,
+    backend: str = "study",
 ) -> ExperimentResult:
     """Sweep the mean degree ``c``; measure giant-component fractions.
 
     The channel probability is solved from ``c = n·p·s(K,P,q)`` so the
     key-graph structure is held fixed while the composed graph crosses
-    the phase transition.
+    the phase transition.  ``backend="legacy"`` keeps the original
+    independent-per-point sampling as a cross-check.
     """
+    if backend not in ("study", "legacy"):
+        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     trials = trials if trials is not None else trials_from_env(40, full=200)
-    s = overlap_survival(key_ring_size, pool_size, q)
+    probs = _channel_probs(mean_degrees, num_nodes, key_ring_size, pool_size, q)
+    if backend == "study":
+        study = build_giant_study(
+            trials, mean_degrees, num_nodes, key_ring_size, pool_size, q, seed
+        )
+        scenario_result = study.run(workers=workers)["giant"]
     points: List[CurvePoint] = []
-    for c in mean_degrees:
-        p = c / (num_nodes * s)
-        if not 0.0 < p <= 1.0:
-            raise ValueError(
-                f"mean degree {c} needs channel prob {p:.4g} outside (0, 1]; "
-                "adjust key_ring_size"
-            )
+    for c, p in zip(mean_degrees, probs):
         params = QCompositeParams(
             num_nodes=num_nodes,
             key_ring_size=key_ring_size,
@@ -97,13 +157,16 @@ def run_giant_component(
             overlap=q,
             channel_prob=p,
         )
-        fractions = run_trials(
-            functools.partial(giant_component_trial, params),
-            trials,
-            seed=seed + int(c * 100),
-            workers=workers,
-        )
-        arr = np.array(fractions)
+        if backend == "study":
+            arr = scenario_result.series("giant_fraction", (q, p), key_ring_size)
+        else:
+            fractions = run_trials(
+                functools.partial(giant_component_trial, params),
+                trials,
+                seed=seed + int(c * 100),
+                workers=workers,
+            )
+            arr = np.array(fractions)
         # Estimate slot: fraction of deployments with a >10% giant part.
         giant_hits = int((arr > 0.1).sum())
         points.append(
@@ -127,6 +190,7 @@ def run_giant_component(
             "pool_size": pool_size,
             "q": q,
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

@@ -15,15 +15,59 @@ from typing import List, Optional, Sequence
 
 from repro.core.mindegree import min_degree_probability_poisson
 from repro.core.scaling import channel_prob_for_alpha
+from repro.exceptions import ParameterError
 from repro.params import QCompositeParams
 from repro.probability.limits import limit_probability
 from repro.simulation.engine import trials_from_env
 from repro.simulation.estimators import BernoulliEstimate
 from repro.simulation.results import CurvePoint, ExperimentResult
 from repro.simulation.runners import estimate_agreement
+from repro.study import MetricSpec, Scenario, Study
 from repro.utils.tables import format_table
 
-__all__ = ["run_mindegree_equiv", "render_mindegree_equiv"]
+__all__ = ["build_mindegree_study", "run_mindegree_equiv", "render_mindegree_equiv"]
+
+
+def build_mindegree_study(
+    trials: Optional[int] = None,
+    ks: Sequence[int] = (1, 2, 3),
+    alphas: Sequence[float] = (-1.0, 0.0, 1.5),
+    num_nodes: int = 300,
+    key_ring_size: int = 80,
+    pool_size: int = 10000,
+    q: int = 2,
+    seed: int = 20170608,
+) -> Study:
+    """One scenario per ``k`` with both Lemma 8 metrics per curve.
+
+    All scenarios share the deployment family, so min-degree and
+    k-connectivity are measured on the *same* sampled worlds across the
+    whole ``(k, α)`` grid — the agreement rate is a per-deployment
+    comparison, and the grid pays for ring sampling once.
+    """
+    trials = trials if trials is not None else trials_from_env(60, full=300)
+    scenarios = []
+    for k in ks:
+        curves = tuple(
+            (q, channel_prob_for_alpha(num_nodes, key_ring_size, pool_size, q, alpha, k))
+            for alpha in alphas
+        )
+        scenarios.append(
+            Scenario(
+                name=f"mindegree_k{k}",
+                num_nodes=num_nodes,
+                pool_size=pool_size,
+                ring_sizes=(key_ring_size,),
+                curves=curves,
+                metrics=(
+                    MetricSpec("min_degree", k=k),
+                    MetricSpec("k_connectivity", k=k),
+                ),
+                trials=trials,
+                seed=seed,
+            )
+        )
+    return Study(tuple(scenarios))
 
 
 def run_mindegree_equiv(
@@ -36,13 +80,22 @@ def run_mindegree_equiv(
     q: int = 2,
     seed: int = 20170608,
     workers: Optional[int] = None,
+    backend: str = "study",
 ) -> ExperimentResult:
     """Joint min-degree / k-connectivity sweep over (k, α).
 
     ``n = 300`` keeps the exact ``k = 3`` decision (Dinic/Even) cheap
-    enough for hundreds of trials.
+    enough for hundreds of trials.  ``backend="legacy"`` keeps the
+    original independent-per-point sampling as a cross-check.
     """
+    if backend not in ("study", "legacy"):
+        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     trials = trials if trials is not None else trials_from_env(60, full=300)
+    if backend == "study":
+        study = build_mindegree_study(
+            trials, ks, alphas, num_nodes, key_ring_size, pool_size, q, seed
+        )
+        study_result = study.run(workers=workers)
     points: List[CurvePoint] = []
     for k in ks:
         for alpha in alphas:
@@ -56,13 +109,28 @@ def run_mindegree_equiv(
                 overlap=q,
                 channel_prob=p,
             )
-            deg_est, conn_est, agreement = estimate_agreement(
-                params,
-                k,
-                trials,
-                seed=seed + 7 * k + int(alpha * 100),
-                workers=workers,
-            )
+            if backend == "study":
+                scenario_result = study_result[f"mindegree_k{k}"]
+                deg_est = scenario_result.bernoulli(
+                    f"min_degree[k={k}]", (q, p), key_ring_size
+                )
+                conn_est = scenario_result.bernoulli(
+                    f"k_connectivity[k={k}]", (q, p), key_ring_size
+                )
+                agreement = scenario_result.agreement(
+                    f"min_degree[k={k}]",
+                    f"k_connectivity[k={k}]",
+                    (q, p),
+                    key_ring_size,
+                )
+            else:
+                deg_est, conn_est, agreement = estimate_agreement(
+                    params,
+                    k,
+                    trials,
+                    seed=seed + 7 * k + int(alpha * 100),
+                    workers=workers,
+                )
             # Primary estimate slot: the min-degree probability (Lemma 8's
             # statistic); connectivity and agreement ride in the point dict.
             points.append(
@@ -92,6 +160,7 @@ def run_mindegree_equiv(
             "pool_size": pool_size,
             "q": q,
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

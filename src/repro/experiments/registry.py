@@ -1,14 +1,31 @@
-"""Experiment registry: names → (runner, renderer).
+"""Experiment registry: names → Scenario/Study declarations + renderers.
 
 Single source of truth used by the CLI (``python -m repro``) and by the
 benchmark harness, so "every table and figure" is enumerable in one
-place.
+place.  Since the Scenario/Study redesign, a registered Monte Carlo
+experiment is a *declaration*: its ``build_study`` callable maps the
+experiment's keyword arguments to a :class:`repro.study.Study` (a set
+of frozen, JSON-round-trippable scenarios), its ``run`` callable
+executes that study through the shared-deployment compiler and
+interprets the :class:`~repro.study.StudyResult` into the experiment's
+:class:`~repro.simulation.results.ExperimentResult`, and ``render``
+formats the tables.  The bespoke per-point sampling loops the modules
+used to carry survive only as ``backend="legacy"`` cross-checks.
+
+Experiment kinds:
+
+* ``"study"`` — Monte Carlo, declared as scenarios over the study
+  compiler (all experiments except ``kstar``).
+* ``"numeric"`` — purely analytic, no sampling (``kstar``).
+
+To run a workload that is not registered here, write the scenarios as
+JSON and use ``repro study FILE.json`` — no Python required.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import ExperimentError
 from repro.simulation.results import ExperimentResult
@@ -18,13 +35,20 @@ __all__ = ["ExperimentSpec", "REGISTRY", "get_experiment", "list_experiments"]
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentSpec:
-    """One runnable experiment with its paper anchor."""
+    """One runnable experiment with its paper anchor.
+
+    ``build_study`` exposes the declaration itself (``None`` for
+    numeric experiments): callers can compile, inspect, merge, or
+    serialize the scenarios without running anything.
+    """
 
     name: str
     paper_anchor: str
     description: str
     run: Callable[..., ExperimentResult]
     render: Callable[[ExperimentResult], str]
+    kind: str = "study"
+    build_study: Optional[Callable] = None
 
 
 def _build_registry() -> Dict[str, ExperimentSpec]:
@@ -49,6 +73,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Empirical P[connected] vs K for six (q, p) curves.",
             run=figure1.run_figure1,
             render=figure1.render_figure1,
+            build_study=figure1.build_figure1_study,
         ),
         ExperimentSpec(
             name="kstar",
@@ -56,6 +81,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Minimal K* clearing ln n / n, exact vs asymptotic.",
             run=kstar.run_kstar,
             render=kstar.render_kstar,
+            kind="numeric",
         ),
         ExperimentSpec(
             name="theorem1",
@@ -63,6 +89,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Empirical P[k-connected] vs exp(-e^-a/(k-1)!) on an α grid.",
             run=theorem1_check.run_theorem1_check,
             render=theorem1_check.render_theorem1_check,
+            build_study=theorem1_check.build_theorem1_study,
         ),
         ExperimentSpec(
             name="zero_one",
@@ -70,6 +97,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Transition sharpening toward 0/1 as n grows at fixed ±α.",
             run=zero_one.run_zero_one,
             render=zero_one.render_zero_one,
+            build_study=zero_one.build_zero_one_study,
         ),
         ExperimentSpec(
             name="mindegree",
@@ -77,6 +105,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Min-degree law and per-sample equivalence with k-connectivity.",
             run=mindegree_equiv.run_mindegree_equiv,
             render=mindegree_equiv.render_mindegree_equiv,
+            build_study=mindegree_equiv.build_mindegree_study,
         ),
         ExperimentSpec(
             name="degree_poisson",
@@ -84,6 +113,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Poisson law for the number of degree-h nodes.",
             run=degree_poisson.run_degree_poisson,
             render=degree_poisson.render_degree_poisson,
+            build_study=degree_poisson.build_degree_poisson_study,
         ),
         ExperimentSpec(
             name="coupling",
@@ -91,6 +121,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Binomial-ring coupling success and subset validity.",
             run=coupling_check.run_coupling_check,
             render=coupling_check.render_coupling_check,
+            build_study=coupling_check.build_coupling_study,
         ),
         ExperimentSpec(
             name="attack",
@@ -98,6 +129,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Capture-attack compromise fraction vs q, simulated + analytic.",
             run=attack_tradeoff.run_attack_tradeoff,
             render=attack_tradeoff.render_attack_tradeoff,
+            build_study=attack_tradeoff.build_attack_study,
         ),
         ExperimentSpec(
             name="disk",
@@ -105,6 +137,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Disk vs on/off channels at matched edge probability.",
             run=disk_comparison.run_disk_comparison,
             render=disk_comparison.render_disk_comparison,
+            build_study=disk_comparison.build_disk_study,
         ),
         ExperimentSpec(
             name="giant",
@@ -112,6 +145,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Giant-component emergence vs the ER branching limit.",
             run=giant_component.run_giant_component,
             render=giant_component.render_giant_component,
+            build_study=giant_component.build_giant_study,
         ),
         ExperimentSpec(
             name="resilience",
@@ -119,6 +153,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             description="Connectivity over uncompromised links after capture.",
             run=resilience.run_resilience,
             render=resilience.render_resilience,
+            build_study=resilience.build_resilience_study,
         ),
     ]
     return {spec.name: spec for spec in specs}

@@ -19,16 +19,59 @@ from typing import List, Optional, Sequence
 
 from repro.core.mindegree import min_degree_probability_poisson
 from repro.core.scaling import channel_prob_for_alpha
+from repro.exceptions import ParameterError
 from repro.params import QCompositeParams
 from repro.probability.limits import limit_probability
 from repro.simulation.engine import trials_from_env
 from repro.simulation.results import CurvePoint, ExperimentResult
 from repro.simulation.runners import estimate_k_connectivity
+from repro.study import MetricSpec, Scenario, Study
 from repro.utils.tables import format_table
 
-__all__ = ["run_theorem1_check", "render_theorem1_check"]
+__all__ = ["build_theorem1_study", "run_theorem1_check", "render_theorem1_check"]
 
 DEFAULT_ALPHAS = (-2.0, -1.0, 0.0, 1.0, 2.0, 4.0)
+
+
+def build_theorem1_study(
+    trials: Optional[int] = None,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    ks: Sequence[int] = (1, 2),
+    num_nodes: int = 500,
+    key_ring_size: int = 70,
+    pool_size: int = 10000,
+    q: int = 2,
+    seed: int = 20170606,
+) -> Study:
+    """One scenario per ``k``; every α is one ``(q, p)`` curve.
+
+    All scenarios pin the same deployment family ``(n, K, P, trials,
+    seed)``, so the compiler samples each ``(K, trial)`` world once and
+    every ``(k, α)`` point is a post-filter on it: common random
+    numbers across the whole grid, and the ring sampling + overlap
+    counting cost is paid once instead of ``len(ks) * len(alphas)``
+    times.
+    """
+    trials = trials if trials is not None else trials_from_env(80, full=400)
+    scenarios = []
+    for k in ks:
+        curves = tuple(
+            (q, channel_prob_for_alpha(num_nodes, key_ring_size, pool_size, q, alpha, k))
+            for alpha in alphas
+        )
+        scenarios.append(
+            Scenario(
+                name=f"theorem1_k{k}",
+                num_nodes=num_nodes,
+                pool_size=pool_size,
+                ring_sizes=(key_ring_size,),
+                curves=curves,
+                metrics=(MetricSpec("k_connectivity", k=k),),
+                trials=trials,
+                seed=seed,
+            )
+        )
+    return Study(tuple(scenarios))
 
 
 def run_theorem1_check(
@@ -41,14 +84,25 @@ def run_theorem1_check(
     q: int = 2,
     seed: int = 20170606,
     workers: Optional[int] = None,
+    backend: str = "study",
 ) -> ExperimentResult:
     """Sweep α at fixed (n, K, P, q), tuning p; estimate P[k-connected].
 
-    The default ``n = 500`` keeps the exact k-connectivity decision
+    The default ``"study"`` backend rides the shared-deployment sweep
+    (see :func:`build_theorem1_study`); ``backend="legacy"`` keeps the
+    original independent-per-point sampling as a cross-check.  The
+    default ``n = 500`` keeps the exact k-connectivity decision
     affordable for ``k = 2``; the bench scales ``n`` and trials via the
     usual environment knobs.
     """
+    if backend not in ("study", "legacy"):
+        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     trials = trials if trials is not None else trials_from_env(80, full=400)
+    if backend == "study":
+        study = build_theorem1_study(
+            trials, alphas, ks, num_nodes, key_ring_size, pool_size, q, seed
+        )
+        study_result = study.run(workers=workers)
     points: List[CurvePoint] = []
     for k in ks:
         for alpha in alphas:
@@ -62,13 +116,18 @@ def run_theorem1_check(
                 overlap=q,
                 channel_prob=p,
             )
-            estimate = estimate_k_connectivity(
-                params,
-                k,
-                trials,
-                seed=seed + int(alpha * 10) + 1000 * k,
-                workers=workers,
-            )
+            if backend == "study":
+                estimate = study_result[f"theorem1_k{k}"].bernoulli(
+                    f"k_connectivity[k={k}]", (q, p), key_ring_size
+                )
+            else:
+                estimate = estimate_k_connectivity(
+                    params,
+                    k,
+                    trials,
+                    seed=seed + int(alpha * 10) + 1000 * k,
+                    workers=workers,
+                )
             points.append(
                 CurvePoint(
                     point={
@@ -92,6 +151,7 @@ def run_theorem1_check(
             "alphas": list(alphas),
             "ks": list(ks),
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

@@ -16,10 +16,53 @@ from repro.core.scaling import channel_prob_for_alpha
 from repro.probability.limits import limit_probability
 from repro.simulation.engine import trials_from_env
 from repro.simulation.results import CurvePoint, ExperimentResult
-from repro.simulation.sweep import SweepSpec, sweep_connectivity_estimates
+from repro.study import MetricSpec, Scenario, Study
 from repro.utils.tables import format_table
 
-__all__ = ["run_zero_one", "render_zero_one"]
+__all__ = ["build_zero_one_study", "run_zero_one", "render_zero_one"]
+
+
+def build_zero_one_study(
+    trials: Optional[int] = None,
+    num_nodes_grid: Sequence[int] = (200, 500, 1000, 2000),
+    alpha_offsets: Sequence[float] = (-3.0, -1.5, 1.5, 3.0),
+    pool_size: int = 10000,
+    q: int = 2,
+    seed: int = 20170607,
+) -> Study:
+    """One scenario per ``n``: all ±α offsets as curves of one deployment.
+
+    The ring size is chosen per ``n`` as the minimal ``K`` whose key
+    graph clears the *largest* α in the grid at ``p = 1`` (plus
+    margin), so the channel-probability solve stays within (0, 1] at
+    every point.
+    """
+    from repro.core.design import minimal_key_ring_size
+
+    trials = trials if trials is not None else trials_from_env(80, full=500)
+    top_target = limit_probability(max(alpha_offsets) + 0.25, 1)
+    scenarios = []
+    for n in num_nodes_grid:
+        ring = minimal_key_ring_size(
+            n, pool_size, q, 1.0, k=1, target_probability=min(top_target, 0.999)
+        )
+        curves = tuple(
+            (q, channel_prob_for_alpha(n, ring, pool_size, q, alpha, k=1))
+            for alpha in alpha_offsets
+        )
+        scenarios.append(
+            Scenario(
+                name=f"zero_one_n{n}",
+                num_nodes=n,
+                pool_size=pool_size,
+                ring_sizes=(ring,),
+                curves=curves,
+                metrics=(MetricSpec("connectivity"),),
+                trials=trials,
+                seed=seed + n,
+            )
+        )
+    return Study(tuple(scenarios))
 
 
 def run_zero_one(
@@ -38,40 +81,25 @@ def run_zero_one(
     so the channel-probability solve stays within (0, 1] at every point.
 
     All α offsets at one ``n`` differ only in the channel probability,
-    so they run as one shared-deployment sweep: the same sampled key
-    rings serve every offset, with channels realized by nested thinning
-    (:mod:`repro.simulation.sweep`).  The ±α comparison therefore uses
-    common random numbers — the transition sharpening is visible at far
-    fewer trials than with independent sampling.
+    so they compile to one scenario per ``n`` on the shared-deployment
+    study path: the same sampled key rings serve every offset, with
+    channels realized by nested thinning.  The ±α comparison therefore
+    uses common random numbers — the transition sharpening is visible
+    at far fewer trials than with independent sampling.
     """
-    from repro.core.design import minimal_key_ring_size
-    from repro.probability.limits import limit_probability
-
     trials = trials if trials is not None else trials_from_env(80, full=500)
+    study = build_zero_one_study(
+        trials, num_nodes_grid, alpha_offsets, pool_size, q, seed
+    )
+    result = study.run(workers=workers)
     points: List[CurvePoint] = []
-    top_target = limit_probability(max(alpha_offsets) + 0.25, 1)
-    for n in num_nodes_grid:
-        ring = minimal_key_ring_size(
-            n, pool_size, q, 1.0, k=1, target_probability=min(top_target, 0.999)
-        )
-        channel_probs = [
-            channel_prob_for_alpha(n, ring, pool_size, q, alpha, k=1)
-            for alpha in alpha_offsets
-        ]
-        spec = SweepSpec(
-            num_nodes=n,
-            pool_size=pool_size,
-            ring_sizes=(ring,),
-            curves=tuple((q, p) for p in channel_probs),
-            trials=trials,
-            seed=seed + n,
-        )
-        estimates = sweep_connectivity_estimates(spec, workers=workers)
-        for alpha, p in zip(alpha_offsets, channel_probs):
+    for n, scenario_result in zip(num_nodes_grid, result.results):
+        ring = scenario_result.scenario.ring_sizes[0]
+        for alpha, (_, p) in zip(alpha_offsets, scenario_result.scenario.curves):
             points.append(
                 CurvePoint(
                     point={"n": n, "alpha": alpha, "K": ring, "p": p},
-                    estimate=estimates[(q, float(p))][ring],
+                    estimate=scenario_result.bernoulli("connectivity", (q, p), ring),
                     prediction=limit_probability(alpha, 1),
                 )
             )

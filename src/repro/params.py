@@ -103,6 +103,24 @@ class QCompositeParams:
         """Plain-dict form for JSON serialization of experiment results."""
         return dataclasses.asdict(self)
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QCompositeParams":
+        """Inverse of :meth:`to_dict`, with full validation.
+
+        Used by JSON-driven workflows (scenario files, saved results)
+        so a parameter tuple round-trips byte-for-byte; unknown keys
+        raise :class:`~repro.exceptions.ParameterError` rather than
+        being silently dropped.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ParameterError(
+                f"unknown parameter fields {sorted(unknown)}; "
+                f"valid fields: {sorted(fields)}"
+            )
+        return cls(**data)  # type: ignore[arg-type]
+
     def describe(self) -> str:
         """One-line human-readable summary used in harness headers."""
         return (

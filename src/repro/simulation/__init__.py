@@ -28,8 +28,18 @@ Connectivity decisions on the sweep path run on the vectorized
 min-label kernel (:func:`repro.graphs.unionfind.is_connected_pair_keys`)
 directly over int64 pair keys — no per-edge Python loop and no Graph
 construction.  Work is sharded by whole ``K`` columns
-(:func:`repro.simulation.engine.run_batches`), so process/IPC overhead
-is amortized over ``trials * len(curves)`` point evaluations.
+(:func:`repro.simulation.engine.run_batches`), splitting columns into
+contiguous trial blocks when columns are scarce
+(:func:`repro.simulation.sweep.split_trial_blocks`), so process/IPC
+overhead is amortized over ``trials * len(curves)`` point evaluations
+and a single-``K`` sweep still saturates the pool.  Pools are *warm*:
+:mod:`repro.simulation.pool` keeps executors alive across calls, so
+repeated experiment invocations stop paying worker startup
+(``REPRO_PERSISTENT_POOL=0`` disables reuse).
+
+The declarative layer over this stack — frozen JSON-round-trippable
+scenarios compiled onto shared deployments with arbitrary metric sets —
+lives in :mod:`repro.study`.
 """
 
 from repro.simulation.engine import (
@@ -37,6 +47,12 @@ from repro.simulation.engine import (
     run_batches,
     run_trials,
     trials_from_env,
+)
+from repro.simulation.pool import (
+    get_executor,
+    persistent_pools_enabled,
+    shutdown_pools,
+    submit_batches,
 )
 from repro.simulation.estimators import BernoulliEstimate, wilson_interval
 from repro.simulation.results import (
@@ -55,6 +71,7 @@ from repro.simulation.runners import (
 from repro.simulation.sweep import (
     SweepSpec,
     run_sweep_trials,
+    split_trial_blocks,
     sweep_connectivity_estimates,
     sweep_curve_masks,
     sweep_deployment_outcomes,
@@ -74,6 +91,11 @@ __all__ = [
     "run_trials",
     "run_batches",
     "trials_from_env",
+    "get_executor",
+    "persistent_pools_enabled",
+    "shutdown_pools",
+    "submit_batches",
+    "split_trial_blocks",
     "BernoulliEstimate",
     "wilson_interval",
     "CurvePoint",

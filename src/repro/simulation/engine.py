@@ -10,13 +10,14 @@ bit-identical outcome sequences, which the test suite asserts.
 
 from __future__ import annotations
 
+import functools
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.simulation.pool import submit_batches
 from repro.utils.rng import trial_seed_sequence
 
 __all__ = ["run_trials", "run_batches", "default_workers", "trials_from_env"]
@@ -103,13 +104,12 @@ def run_trials(
     # difficulty drifts with the trial index.
     chunks = [list(range(w, num_trials, workers)) for w in range(workers)]
     results: List = [None] * num_trials
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_run_indices, trial, seed, chunk) for chunk in chunks
-        ]
-        for chunk, future in zip(chunks, futures):
-            for index, outcome in zip(chunk, future.result()):
-                results[index] = outcome
+    outcomes = submit_batches(
+        functools.partial(_run_indices, trial, seed), chunks, workers
+    )
+    for chunk, chunk_outcomes in zip(chunks, outcomes):
+        for index, outcome in zip(chunk, chunk_outcomes):
+            results[index] = outcome
     return results
 
 
@@ -136,6 +136,4 @@ def run_batches(
     workers = min(workers, len(batches))
     if workers == 1:
         return [fn(batch) for batch in batches]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, batch) for batch in batches]
-        return [future.result() for future in futures]
+    return submit_batches(fn, batches, workers)

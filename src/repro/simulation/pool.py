@@ -1,0 +1,108 @@
+"""Persistent (warm) worker pools.
+
+``run_batches``/``run_trials`` used to fork a fresh
+``ProcessPoolExecutor`` per sweep, so every experiment invocation paid
+interpreter startup and module import for each worker.  This module
+keeps one executor alive and hands it back on the next call,
+amortizing that cost across every study, experiment, and benchmark in
+the process.  The pool is sized to the largest worker count requested
+so far (growing recreates it); calls requesting fewer workers reuse
+the big pool but cap their in-flight submissions with a sliding
+window, so concurrency never exceeds the request and the process
+never accumulates one resident pool per distinct worker count.  The
+pool is shut down at interpreter exit.
+
+Determinism is unaffected: work units carry their own seeds, so *which*
+pool (or how warm it is) never changes results.
+
+Set ``REPRO_PERSISTENT_POOL=0`` to disable reuse and fall back to
+ephemeral per-call pools (useful when embedding in frameworks that
+manage process lifetimes themselves).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+__all__ = ["persistent_pools_enabled", "get_executor", "shutdown_pools", "submit_batches"]
+
+_EXECUTOR: Optional[ProcessPoolExecutor] = None
+_EXECUTOR_SIZE = 0
+
+
+def persistent_pools_enabled() -> bool:
+    """Whether warm pool reuse is active (``REPRO_PERSISTENT_POOL`` != 0)."""
+    return os.environ.get("REPRO_PERSISTENT_POOL", "1") != "0"
+
+
+def get_executor(workers: int) -> ProcessPoolExecutor:
+    """Return the warm executor, growing it if *workers* exceeds its size."""
+    global _EXECUTOR, _EXECUTOR_SIZE
+    if _EXECUTOR is None or _EXECUTOR_SIZE < workers:
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTOR_SIZE = workers
+    return _EXECUTOR
+
+
+def _discard_executor() -> None:
+    global _EXECUTOR, _EXECUTOR_SIZE
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR = None
+        _EXECUTOR_SIZE = 0
+
+
+def shutdown_pools() -> None:
+    """Shut down the warm pool (registered via ``atexit``)."""
+    _discard_executor()
+
+
+atexit.register(shutdown_pools)
+
+
+def _windowed(
+    pool: ProcessPoolExecutor, fn: Callable, batches: Sequence, workers: int
+) -> List:
+    """Submit with at most *workers* futures in flight; results in order."""
+    results: List = [None] * len(batches)
+    pending: Deque[Tuple[int, object]] = deque()
+    for index, batch in enumerate(batches):
+        pending.append((index, pool.submit(fn, batch)))
+        if len(pending) >= workers:
+            done_index, future = pending.popleft()
+            results[done_index] = future.result()  # type: ignore[attr-defined]
+    while pending:
+        done_index, future = pending.popleft()
+        results[done_index] = future.result()  # type: ignore[attr-defined]
+    return results
+
+
+def submit_batches(fn: Callable, batches: Sequence, workers: int) -> List:
+    """Run ``fn(batch)`` for every batch on *workers* processes, in order.
+
+    Uses the warm pool when enabled, an ephemeral pool otherwise.  If
+    the warm pool turns out to be broken (a worker died since last
+    use), it is discarded and the whole batch list is retried once on a
+    fresh pool — work units are idempotent by the engine's determinism
+    contract, so the retry is safe.
+    """
+    if not persistent_pools_enabled():
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, batch) for batch in batches]
+            return [future.result() for future in futures]
+    for attempt in (0, 1):
+        pool = get_executor(workers)
+        try:
+            return _windowed(pool, fn, batches, workers)
+        except BrokenProcessPool:
+            _discard_executor()
+            if attempt:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -4,6 +4,12 @@ Experiments emit :class:`CurvePoint` rows (one per parameter point) that
 bundle the empirical estimate with the theory prediction evaluated at
 the same point, so EXPERIMENTS.md tables can be regenerated from saved
 JSON without re-simulating.
+
+These are the *interpreted* per-experiment tables.  The raw per-trial
+value tensors produced by the declarative layer live in
+:class:`repro.study.StudyResult` (saved by ``repro study --save``);
+an :class:`ExperimentResult` is what a registry experiment's
+``from_study`` interpretation distills out of one.
 """
 
 from __future__ import annotations

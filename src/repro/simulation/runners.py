@@ -1,7 +1,10 @@
 """High-level estimation runners: trials → estimates.
 
-Thin, picklable glue between the trial protocols and the engine.  These
-are the functions experiment modules and benchmarks call.
+Thin, picklable glue between the trial protocols and the engine.
+Since the Scenario/Study redesign these back the experiments'
+``backend="legacy"`` cross-check paths (one independent deployment per
+parameter point); the default execution route is the shared-deployment
+study compiler in :mod:`repro.study`.
 """
 
 from __future__ import annotations

@@ -49,6 +49,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "SweepSpec",
+    "split_trial_blocks",
     "sweep_curve_masks",
     "sweep_deployment_outcomes",
     "run_sweep_trials",
@@ -164,6 +165,35 @@ def _sweep_block(
     return successes
 
 
+def split_trial_blocks(
+    num_columns: int,
+    trials: int,
+    workers: int,
+    total_columns: Optional[int] = None,
+) -> List[Tuple[int, int, int]]:
+    """Work units ``(column, start, stop)`` for a columns-by-trials grid.
+
+    Whole columns are the natural work unit (fan-out and IPC amortize
+    over all their trials), but when there are fewer columns than
+    workers each column splits into ``ceil(workers / columns)``
+    contiguous trial blocks so the pool stays busy — the single-``K``
+    sweep under-utilization fix.  ``total_columns`` overrides the
+    divisor when the caller schedules several column groups into one
+    pool (the study compiler).  Block boundaries are a pure function of
+    ``(num_columns, trials, workers)``; they never affect results, only
+    parallelism, because every ``(column, trial)`` cell is seeded
+    independently.
+    """
+    divisor = total_columns if total_columns is not None else num_columns
+    splits = min(trials, max(1, -(-workers // max(divisor, 1))))
+    bounds = np.linspace(0, trials, splits + 1, dtype=np.int64)
+    return [
+        (column, int(bounds[b]), int(bounds[b + 1]))
+        for column in range(num_columns)
+        for b in range(splits)
+    ]
+
+
 def run_sweep_trials(
     spec: SweepSpec, workers: Optional[int] = None
 ) -> np.ndarray:
@@ -182,13 +212,7 @@ def run_sweep_trials(
 
     n_rings = len(spec.ring_sizes)
     effective = default_workers() if workers is None else max(1, int(workers))
-    splits = min(spec.trials, max(1, -(-effective // n_rings)))
-    bounds = np.linspace(0, spec.trials, splits + 1, dtype=np.int64)
-    blocks = [
-        (ring_index, int(bounds[b]), int(bounds[b + 1]))
-        for ring_index in range(n_rings)
-        for b in range(splits)
-    ]
+    blocks = split_trial_blocks(n_rings, spec.trials, effective)
     counts = run_batches(
         functools.partial(_sweep_block, spec), blocks, workers
     )

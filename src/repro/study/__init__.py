@@ -1,0 +1,54 @@
+"""Declarative Scenario/Study experiment layer.
+
+Every experiment in this repository is, at bottom, a *post-filter* over
+one sampled deployment family: rings are drawn, key-overlap counts are
+computed, and then each ``(q, p)`` curve and each metric (connectivity,
+k-connectivity, min-degree law, degree counts, attack exposure, ...) is
+a deterministic function of those shared candidate-pair arrays plus a
+few extra channel draws.  This package makes that structure the API:
+
+* :class:`~repro.study.scenario.Scenario` — a frozen, JSON-round-
+  trippable description of one experiment: node count, key scheme
+  parameters, channel model, a grid over ``K`` and ``(q, p)`` curves,
+  a metric set, trial count, and seed.
+* :class:`~repro.study.compiler.Study` — one or more scenarios compiled
+  into a shared-deployment sweep plan.  Scenarios that share a
+  deployment family (same ``n``, pool, ``K`` grid, trials, and seed)
+  are grouped so rings, overlap counts, and channel variables are
+  sampled *once* per ``(K, trial)`` cell and every requested metric is
+  derived from the same candidate-pair arrays — common random numbers
+  across every curve and metric in the group.
+* :class:`~repro.study.result.StudyResult` — typed results holding the
+  full per-trial value arrays, with per-metric Bernoulli estimates,
+  means, agreement rates, and provenance.
+
+Execution is deterministic: deployment ``(ring_index, trial)`` of a
+group seeded with ``s`` always uses ``SeedSequence(s, spawn_key=
+(ring_index, trial))``, so results are bit-identical for any worker
+count and any trial-block layout.  Work runs on the persistent warm
+worker pool (:mod:`repro.simulation.pool`).
+
+New workloads need zero new Python: write a scenario (or list of
+scenarios) as JSON and run ``repro study FILE.json``.
+"""
+
+from repro.study.compiler import Study, run_scenario
+from repro.study.result import ScenarioResult, StudyResult, render_study_result
+from repro.study.scenario import (
+    CHANNEL_KINDS,
+    METRIC_KINDS,
+    MetricSpec,
+    Scenario,
+)
+
+__all__ = [
+    "CHANNEL_KINDS",
+    "METRIC_KINDS",
+    "MetricSpec",
+    "Scenario",
+    "Study",
+    "run_scenario",
+    "ScenarioResult",
+    "StudyResult",
+    "render_study_result",
+]

@@ -1,0 +1,285 @@
+"""The :class:`Study` compiler: scenarios → shared-deployment sweep plan.
+
+Compilation groups sweep scenarios by deployment family — equal
+``(num_nodes, pool_size, ring_sizes, trials, seed)`` — and emits one
+plan per group.  Executing a plan samples each ``(K, trial)`` world
+exactly once (rings, overlap counts, channel variables) and evaluates
+*every* curve and metric of *every* member scenario on it: the
+common-random-numbers structure of the PR 1 sweep engine, generalized
+from "six connectivity curves" to arbitrary metric sets, the disk
+channel, and capture attacks.
+
+Work units are ``(group, K-column, trial-block)`` triples.  Columns
+split into contiguous trial blocks whenever there are fewer columns
+than workers (:func:`repro.simulation.sweep.split_trial_blocks`), so a
+single-``K`` study still saturates the pool.  Because each deployment
+seed is addressed by ``(ring_index, trial)`` and per-trial values are
+*assigned* (never reduced across blocks), results are bit-identical
+for any worker count and any block layout.
+
+Protocol scenarios run through the ordinary per-trial engine with the
+same determinism contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.simulation.engine import default_workers, run_batches, run_trials
+from repro.simulation.sweep import split_trial_blocks
+from repro.study.metrics import (
+    DeploymentEvaluator,
+    evaluate_scenario,
+    sample_deployment,
+)
+from repro.study.result import ScenarioResult, StudyResult
+from repro.study.scenario import Scenario
+from repro.utils.rng import grid_seed_sequence
+
+__all__ = ["Study", "GroupPlan", "run_scenario"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupPlan:
+    """One deployment family and every scenario riding it."""
+
+    num_nodes: int
+    pool_size: int
+    ring_sizes: Tuple[int, ...]
+    trials: int
+    seed: int
+    q_min: int
+    needs_onoff: bool
+    needs_disk: bool
+    needs_capture: bool
+    scenarios: Tuple[Scenario, ...]
+
+    @property
+    def num_columns(self) -> int:
+        """Value columns per deployment (scenario x curve x metric)."""
+        return sum(len(s.curves) * len(s.metrics) for s in self.scenarios)
+
+    def column_offsets(self) -> List[int]:
+        """Starting column of each member scenario."""
+        offsets, col = [], 0
+        for s in self.scenarios:
+            offsets.append(col)
+            col += len(s.curves) * len(s.metrics)
+        return offsets
+
+
+def _plan_group(scenarios: Sequence[Scenario]) -> GroupPlan:
+    head = scenarios[0]
+    return GroupPlan(
+        num_nodes=head.num_nodes,
+        pool_size=head.pool_size,
+        ring_sizes=head.ring_sizes,
+        trials=head.trials,
+        seed=head.seed,
+        q_min=min(q for s in scenarios for q, _ in s.curves),
+        needs_onoff=any(s.channel == "onoff" for s in scenarios),
+        needs_disk=any(s.channel == "disk" for s in scenarios),
+        needs_capture=any(s.needs_capture for s in scenarios),
+        scenarios=tuple(scenarios),
+    )
+
+
+def _group_block(
+    plans: Tuple[GroupPlan, ...], block: Tuple[int, int, int, int]
+) -> np.ndarray:
+    """Trials ``[start, stop)`` of one (group, K-column); all value columns."""
+    group_index, ring_index, start, stop = block
+    plan = plans[group_index]
+    ring = plan.ring_sizes[ring_index]
+    out = np.empty((stop - start, plan.num_columns), dtype=np.float64)
+    for row, trial in enumerate(range(start, stop)):
+        rng = np.random.default_rng(
+            grid_seed_sequence(plan.seed, ring_index, trial)
+        )
+        dep = sample_deployment(
+            plan.num_nodes,
+            plan.pool_size,
+            ring,
+            plan.q_min,
+            rng,
+            needs_onoff=plan.needs_onoff,
+            needs_disk=plan.needs_disk,
+            needs_capture=plan.needs_capture,
+        )
+        evaluator = DeploymentEvaluator(dep)
+        ledgers: Dict = {}  # shared deduction state across member scenarios
+        col = 0
+        for scenario in plan.scenarios:
+            values = evaluate_scenario(evaluator, scenario, ledgers)
+            width = values.size
+            out[row, col : col + width] = values.reshape(-1)
+            col += width
+    return out
+
+
+def _run_protocol(scenario: Scenario, workers: Optional[int]) -> ScenarioResult:
+    from repro.study.protocols import get_protocol
+
+    spec = get_protocol(scenario.protocol)
+    trial_fn = spec.build(scenario)
+    outcomes = run_trials(trial_fn, scenario.trials, seed=scenario.seed, workers=workers)
+    values = np.asarray(outcomes, dtype=np.float64).reshape(
+        1, scenario.trials, 1, len(spec.value_names)
+    )
+    return ScenarioResult(
+        scenario=scenario, values=values, metric_labels=tuple(spec.value_names)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Study:
+    """One or more scenarios compiled into a shared-deployment plan."""
+
+    scenarios: Tuple[Scenario, ...]
+
+    def __post_init__(self) -> None:
+        scenarios = tuple(
+            s if isinstance(s, Scenario) else Scenario.from_dict(s)
+            for s in self.scenarios
+        )
+        object.__setattr__(self, "scenarios", scenarios)
+        if not scenarios:
+            raise ParameterError("a study needs at least one scenario")
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate scenario names in study: {names}")
+
+    # -- compilation ---------------------------------------------------
+
+    def compile(self) -> List[GroupPlan]:
+        """Group sweep scenarios by deployment family (order-preserving)."""
+        groups: Dict[Tuple, List[Scenario]] = {}
+        for scenario in self.scenarios:
+            if scenario.kind != "sweep":
+                continue
+            groups.setdefault(scenario.deployment_key(), []).append(scenario)
+        return [_plan_group(members) for members in groups.values()]
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, workers: Optional[int] = None) -> StudyResult:
+        effective = default_workers() if workers is None else max(1, int(workers))
+        plans = tuple(self.compile())
+
+        total_columns = sum(len(p.ring_sizes) for p in plans)
+        blocks: List[Tuple[int, int, int, int]] = []
+        for gi, plan in enumerate(plans):
+            for ring_index, start, stop in split_trial_blocks(
+                len(plan.ring_sizes), plan.trials, effective, total_columns
+            ):
+                blocks.append((gi, ring_index, start, stop))
+
+        block_values = run_batches(
+            functools.partial(_group_block, plans), blocks, effective
+        )
+
+        # Assemble the per-group value tensors (rings, trials, columns).
+        tensors: List[np.ndarray] = [
+            np.empty((len(p.ring_sizes), p.trials, p.num_columns)) for p in plans
+        ]
+        for (gi, ring_index, start, stop), values in zip(blocks, block_values):
+            tensors[gi][ring_index, start:stop, :] = values
+
+        # Slice each scenario's columns back out, in study order.
+        by_name: Dict[str, ScenarioResult] = {}
+        for plan, tensor in zip(plans, tensors):
+            for scenario, offset in zip(plan.scenarios, plan.column_offsets()):
+                width = len(scenario.curves) * len(scenario.metrics)
+                values = tensor[:, :, offset : offset + width].reshape(
+                    len(plan.ring_sizes),
+                    plan.trials,
+                    len(scenario.curves),
+                    len(scenario.metrics),
+                )
+                by_name[scenario.name] = ScenarioResult(
+                    scenario=scenario,
+                    values=np.ascontiguousarray(values),
+                    metric_labels=scenario.metric_labels(),
+                )
+
+        for scenario in self.scenarios:
+            if scenario.kind == "protocol":
+                by_name[scenario.name] = _run_protocol(scenario, effective)
+
+        provenance: Dict[str, object] = {
+            "engine": "study/v1",
+            "workers": effective,
+            "groups": [
+                {
+                    "scenarios": [s.name for s in plan.scenarios],
+                    "num_nodes": plan.num_nodes,
+                    "pool_size": plan.pool_size,
+                    "ring_sizes": list(plan.ring_sizes),
+                    "trials": plan.trials,
+                    "seed": plan.seed,
+                    "q_min": plan.q_min,
+                }
+                for plan in plans
+            ],
+            "deployments": int(
+                sum(len(p.ring_sizes) * p.trials for p in plans)
+            ),
+        }
+        return StudyResult(
+            results=tuple(by_name[s.name] for s in self.scenarios),
+            provenance=provenance,
+        )
+
+    # -- JSON round-trip ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"scenarios": [s.to_dict() for s in self.scenarios]}
+
+    @classmethod
+    def from_dict(cls, data: Union[Dict[str, object], Sequence, None]) -> "Study":
+        """Accept ``{"scenarios": [...]}``, a bare list, or one scenario."""
+        if isinstance(data, dict) and "scenarios" in data:
+            unknown = set(data) - {"scenarios"}
+            if unknown:
+                raise ParameterError(
+                    f"unknown study fields {sorted(unknown)}; expected 'scenarios'"
+                )
+            raw = data["scenarios"]
+        elif isinstance(data, dict):
+            raw = [data]
+        elif isinstance(data, Sequence) and not isinstance(data, str):
+            raw = list(data)
+        else:
+            raise ParameterError(
+                "study JSON must be a scenario object, a list of scenarios, "
+                f"or {{'scenarios': [...]}}; got {type(data).__name__}"
+            )
+        if not raw:
+            raise ParameterError("a study needs at least one scenario")
+        return cls(scenarios=tuple(Scenario.from_dict(s) for s in raw))
+
+    def to_json(self, **dumps_kwargs: object) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "Study":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"study JSON does not parse: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def run_scenario(
+    scenario: Scenario, workers: Optional[int] = None
+) -> ScenarioResult:
+    """Run a single scenario and return its result directly."""
+    return Study((scenario,)).run(workers=workers)[scenario.name]

@@ -1,0 +1,255 @@
+"""Typed study results: full per-trial value arrays + estimators.
+
+A :class:`ScenarioResult` keeps the raw value tensor of shape
+``(rings, trials, curves, metrics)`` rather than pre-aggregated counts.
+That is what makes the declarative layer as expressive as the bespoke
+loops it replaced: Bernoulli estimates, means/variances, histograms,
+agreement rates between two metrics measured on the *same* deployments,
+and ratio estimates (attack compromise fractions) are all cheap
+post-processing of the tensor, and saved results can be re-analyzed
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.simulation.estimators import BernoulliEstimate
+from repro.study.scenario import Curve, Scenario
+from repro.utils.tables import format_table
+
+__all__ = ["ScenarioResult", "StudyResult", "render_study_result"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioResult:
+    """All measured values of one scenario.
+
+    ``values[r, t, c, m]`` is metric ``m`` of curve ``c`` measured on
+    deployment ``(ring_sizes[r], trial t)``.  Protocol scenarios use a
+    single pseudo-ring and pseudo-curve with one column per protocol
+    value.
+    """
+
+    scenario: Scenario
+    values: np.ndarray
+    metric_labels: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        object.__setattr__(self, "values", values)
+        if values.ndim != 4:
+            raise ExperimentError(
+                f"values must have shape (rings, trials, curves, metrics), "
+                f"got {values.shape}"
+            )
+
+    # -- index helpers -------------------------------------------------
+
+    def _ring_index(self, ring: Optional[int]) -> int:
+        rings = self.scenario.ring_sizes or (0,)
+        if ring is None:
+            if len(rings) != 1:
+                raise ExperimentError(
+                    f"scenario {self.scenario.name!r} has {len(rings)} ring "
+                    "sizes; pass ring= explicitly"
+                )
+            return 0
+        if ring not in rings:
+            raise ExperimentError(
+                f"ring {ring} not in scenario {self.scenario.name!r} "
+                f"ring_sizes {rings}"
+            )
+        return rings.index(ring)
+
+    def _curve_index(self, curve: Optional[Curve]) -> int:
+        curves = self.scenario.curves or ((0, 0.0),)
+        if curve is None:
+            if len(curves) != 1:
+                raise ExperimentError(
+                    f"scenario {self.scenario.name!r} has {len(curves)} "
+                    "curves; pass curve= explicitly"
+                )
+            return 0
+        curve = (int(curve[0]), float(curve[1]))
+        if curve not in curves:
+            raise ExperimentError(
+                f"curve {curve} not in scenario {self.scenario.name!r} "
+                f"curves {curves}"
+            )
+        return curves.index(curve)
+
+    def _metric_index(self, metric: Optional[str]) -> int:
+        if metric is None:
+            if len(self.metric_labels) != 1:
+                raise ExperimentError(
+                    f"scenario {self.scenario.name!r} has metrics "
+                    f"{self.metric_labels}; pass metric= explicitly"
+                )
+            return 0
+        if metric not in self.metric_labels:
+            raise ExperimentError(
+                f"metric {metric!r} not measured; available: {self.metric_labels}"
+            )
+        return self.metric_labels.index(metric)
+
+    # -- estimators ----------------------------------------------------
+
+    def series(
+        self,
+        metric: Optional[str] = None,
+        curve: Optional[Curve] = None,
+        ring: Optional[int] = None,
+    ) -> np.ndarray:
+        """Per-trial values of one ``(ring, curve, metric)`` cell."""
+        return self.values[
+            self._ring_index(ring), :, self._curve_index(curve), self._metric_index(metric)
+        ]
+
+    def successes(
+        self,
+        metric: Optional[str] = None,
+        curve: Optional[Curve] = None,
+        ring: Optional[int] = None,
+    ) -> int:
+        return int(self.series(metric, curve, ring).sum())
+
+    def bernoulli(
+        self,
+        metric: Optional[str] = None,
+        curve: Optional[Curve] = None,
+        ring: Optional[int] = None,
+    ) -> BernoulliEstimate:
+        """Wilson-interval estimate of an indicator metric."""
+        series = self.series(metric, curve, ring)
+        if not np.isin(series, (0.0, 1.0)).all():
+            raise ExperimentError(
+                f"metric {metric!r} is not an indicator; use series()/mean()"
+            )
+        return BernoulliEstimate.from_counts(int(series.sum()), series.size)
+
+    def mean(
+        self,
+        metric: Optional[str] = None,
+        curve: Optional[Curve] = None,
+        ring: Optional[int] = None,
+    ) -> float:
+        return float(self.series(metric, curve, ring).mean())
+
+    def agreement(
+        self,
+        metric_a: str,
+        metric_b: str,
+        curve: Optional[Curve] = None,
+        ring: Optional[int] = None,
+    ) -> float:
+        """Fraction of deployments where two metrics coincide.
+
+        Meaningful because both metrics were measured on the *same*
+        sampled worlds — the common-random-numbers payoff.
+        """
+        a = self.series(metric_a, curve, ring)
+        b = self.series(metric_b, curve, ring)
+        return float((a == b).mean())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "metric_labels": list(self.metric_labels),
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),  # type: ignore[arg-type]
+            values=np.asarray(data["values"], dtype=np.float64),
+            metric_labels=tuple(data["metric_labels"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StudyResult:
+    """Results of every scenario in a study, plus run provenance."""
+
+    results: Tuple[ScenarioResult, ...]
+    provenance: Dict[str, object]
+
+    def __getitem__(self, name: str) -> ScenarioResult:
+        for res in self.results:
+            if res.scenario.name == name:
+                return res
+        known = ", ".join(r.scenario.name for r in self.results)
+        raise ExperimentError(f"no scenario {name!r} in study result; have: {known}")
+
+    def names(self) -> List[str]:
+        return [r.scenario.name for r in self.results]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "provenance": dict(self.provenance),
+            "scenarios": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StudyResult":
+        return cls(
+            results=tuple(
+                ScenarioResult.from_dict(r) for r in data["scenarios"]  # type: ignore[union-attr]
+            ),
+            provenance=dict(data.get("provenance", {})),  # type: ignore[arg-type]
+        )
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+
+def render_study_result(result: StudyResult) -> str:
+    """Generic rendering: one table per scenario, one row per cell.
+
+    Indicator metrics get Wilson intervals; value metrics get
+    mean ± sample std.  This is the output of ``repro study FILE.json``
+    for ad-hoc scenario files that have no bespoke renderer.
+    """
+    blocks: List[str] = []
+    for res in result.results:
+        sc = res.scenario
+        rows: List[Sequence[object]] = []
+        rings = sc.ring_sizes or ("-",)
+        curves = sc.curves or (("-", "-"),)
+        for ri, ring in enumerate(rings):
+            for ci, (q, p) in enumerate(curves):
+                for mi, label in enumerate(res.metric_labels):
+                    series = res.values[ri, :, ci, mi]
+                    if np.isin(series, (0.0, 1.0)).all():
+                        est = BernoulliEstimate.from_counts(
+                            int(series.sum()), series.size
+                        )
+                        rows.append(
+                            [ring, q, p, label, est.estimate, est.ci_low, est.ci_high]
+                        )
+                    else:
+                        std = float(series.std(ddof=1)) if series.size > 1 else 0.0
+                        rows.append(
+                            [ring, q, p, label, float(series.mean()), std, ""]
+                        )
+        title = (
+            f"scenario {sc.name!r} (kind={sc.kind}, n={sc.num_nodes}, "
+            f"P={sc.pool_size}, trials={sc.trials}, seed={sc.seed})"
+        )
+        blocks.append(
+            format_table(
+                ["K", "q", "p", "metric", "estimate", "ci_low/std", "ci_high"],
+                rows,
+                title=title,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,411 @@
+"""The :class:`Scenario` type: one experiment as a frozen config.
+
+A scenario pins everything needed to reproduce an experiment: the
+deployment family (``num_nodes``, ``pool_size``, the ``K`` grid,
+``trials``, ``seed``), the channel model, the ``(q, p)`` curve grid,
+and the metric set.  It validates eagerly at construction and
+round-trips through JSON (``to_json`` / ``from_json``), so a scenario
+file with no accompanying Python is a complete experiment definition.
+
+Two scenario kinds exist:
+
+* ``"sweep"`` (default) — runs on the shared-deployment sweep engine;
+  every metric is derived from the same candidate-pair arrays.
+* ``"protocol"`` — a named bespoke trial protocol (see
+  :mod:`repro.study.protocols`) for workloads whose sampling cannot be
+  expressed as a post-filter (e.g. the Lemma 5 coupled-ring pair).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import (
+    check_key_parameters,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = ["CHANNEL_KINDS", "METRIC_KINDS", "MetricSpec", "Scenario"]
+
+Curve = Tuple[int, float]
+
+#: Channel models a sweep scenario can realize per curve.
+CHANNEL_KINDS = ("onoff", "disk")
+
+#: Metric kinds and the extra parameter each one reads.
+METRIC_KINDS: Dict[str, Optional[str]] = {
+    "connectivity": None,
+    "k_connectivity": "k",
+    "min_degree": "k",
+    "degree_count": "h",
+    "giant_fraction": None,
+    "attack_compromised": "captured",
+    "attack_evaluated": "captured",
+    "survivor_connectivity": "captured",
+    "resilient_connectivity": "captured",
+}
+
+_CAPTURE_KINDS = (
+    "attack_compromised",
+    "attack_evaluated",
+    "survivor_connectivity",
+    "resilient_connectivity",
+)
+
+# Disk curves must keep the transmission radius at or below 1/2 so the
+# torus marginal is exactly ``pi * r**2 = p``.
+_DISK_MAX_PROB = math.pi / 4.0
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSpec:
+    """One metric evaluated per deployment and curve.
+
+    ``kind`` selects the statistic; ``k`` / ``h`` / ``captured``
+    parameterize it (only the parameter named in :data:`METRIC_KINDS`
+    is read; the others must stay at their defaults).
+    """
+
+    kind: str
+    k: int = 1
+    h: int = 0
+    captured: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in METRIC_KINDS:
+            known = ", ".join(sorted(METRIC_KINDS))
+            raise ParameterError(
+                f"unknown metric kind {self.kind!r}; known kinds: {known}"
+            )
+        check_positive_int(self.k, "k")
+        check_nonnegative_int(self.h, "h")
+        check_nonnegative_int(self.captured, "captured")
+        read = METRIC_KINDS[self.kind]
+        for param, default in (("k", 1), ("h", 0), ("captured", 0)):
+            if param != read and getattr(self, param) != default:
+                raise ParameterError(
+                    f"metric kind {self.kind!r} does not read {param!r} "
+                    f"(got {param}={getattr(self, param)}); it accepts "
+                    + (f"only {read!r}" if read else "no parameters")
+                )
+
+    @property
+    def label(self) -> str:
+        """Stable human/JSON label, e.g. ``k_connectivity[k=2]``."""
+        param = METRIC_KINDS[self.kind]
+        if param is None:
+            return self.kind
+        return f"{self.kind}[{param}={getattr(self, param)}]"
+
+    @property
+    def is_indicator(self) -> bool:
+        """Whether per-trial values are 0/1 (Bernoulli-estimable)."""
+        return self.kind in (
+            "connectivity",
+            "k_connectivity",
+            "min_degree",
+            "survivor_connectivity",
+            "resilient_connectivity",
+        )
+
+    @property
+    def needs_capture(self) -> bool:
+        return self.kind in _CAPTURE_KINDS
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind}
+        param = METRIC_KINDS[self.kind]
+        if param is not None:
+            out[param] = getattr(self, param)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MetricSpec":
+        if not isinstance(data, Mapping):
+            raise ParameterError(
+                f"metric must be a mapping with a 'kind' key, got {data!r}"
+            )
+        unknown = set(data) - {"kind", "k", "h", "captured"}
+        if unknown:
+            raise ParameterError(
+                f"unknown metric fields {sorted(unknown)} in {dict(data)!r}"
+            )
+        if "kind" not in data:
+            raise ParameterError(f"metric is missing 'kind': {dict(data)!r}")
+        return cls(
+            kind=str(data["kind"]),
+            k=int(data.get("k", 1)),  # type: ignore[arg-type]
+            h=int(data.get("h", 0)),  # type: ignore[arg-type]
+            captured=int(data.get("captured", 0)),  # type: ignore[arg-type]
+        )
+
+
+_SCENARIO_FIELDS = {
+    "name",
+    "num_nodes",
+    "pool_size",
+    "ring_sizes",
+    "curves",
+    "metrics",
+    "trials",
+    "seed",
+    "channel",
+    "kind",
+    "protocol",
+    "protocol_params",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A frozen, JSON-round-trippable experiment description.
+
+    Attributes
+    ----------
+    name:
+        Identifier used to look the scenario's result up in a
+        :class:`~repro.study.result.StudyResult`.
+    num_nodes, pool_size:
+        ``n`` and ``P`` of the key-predistribution model.
+    ring_sizes:
+        The ``K`` grid (one deployment family per ``K``).
+    curves:
+        ``(q, p)`` post-filters evaluated on every deployment.
+    metrics:
+        Metric set derived per deployment and curve.
+    trials, seed:
+        Monte Carlo repetitions and the deterministic root seed.
+    channel:
+        ``"onoff"`` (Bernoulli(p) per candidate edge, nested thinning)
+        or ``"disk"`` (torus disk model; ``p`` is the matched marginal
+        ``pi * r**2``, thresholds nested in ``r``).
+    kind:
+        ``"sweep"`` or ``"protocol"``.
+    protocol, protocol_params:
+        For ``kind="protocol"``: registered protocol name and its
+        parameters (see :mod:`repro.study.protocols`).
+    """
+
+    name: str
+    num_nodes: int
+    pool_size: int
+    trials: int
+    ring_sizes: Tuple[int, ...] = ()
+    curves: Tuple[Curve, ...] = ()
+    metrics: Tuple[MetricSpec, ...] = ()
+    seed: int = 0
+    channel: str = "onoff"
+    kind: str = "sweep"
+    protocol: Optional[str] = None
+    protocol_params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ParameterError(f"scenario name must be a non-empty string, got {self.name!r}")
+        check_positive_int(self.num_nodes, "num_nodes")
+        check_positive_int(self.pool_size, "pool_size")
+        check_positive_int(self.trials, "trials")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ParameterError(f"seed must be an int, got {self.seed!r}")
+        if self.seed < 0:
+            raise ParameterError(f"seed must be >= 0, got {self.seed}")
+        if self.kind not in ("sweep", "protocol"):
+            raise ParameterError(
+                f"unknown scenario kind {self.kind!r}; use 'sweep' or 'protocol'"
+            )
+        if isinstance(self.protocol_params, Mapping):
+            object.__setattr__(
+                self, "protocol_params", tuple(sorted(self.protocol_params.items()))
+            )
+        else:
+            object.__setattr__(
+                self,
+                "protocol_params",
+                tuple((str(k), v) for k, v in self.protocol_params),
+            )
+        if self.kind == "protocol":
+            self._validate_protocol()
+            return
+        self._validate_sweep()
+
+    def _validate_protocol(self) -> None:
+        if not self.protocol:
+            raise ParameterError(
+                "protocol scenarios need a 'protocol' name "
+                "(see repro.study.protocols.list_protocols())"
+            )
+        if self.ring_sizes or self.curves or self.metrics:
+            raise ParameterError(
+                "protocol scenarios take parameters via 'protocol_params'; "
+                "ring_sizes/curves/metrics must be empty"
+            )
+        from repro.study.protocols import get_protocol
+
+        get_protocol(self.protocol)  # raises ExperimentError if unknown
+
+    def _validate_sweep(self) -> None:
+        if self.protocol is not None or self.protocol_params:
+            raise ParameterError(
+                "sweep scenarios must not set 'protocol'/'protocol_params'"
+            )
+        if self.channel not in CHANNEL_KINDS:
+            known = ", ".join(CHANNEL_KINDS)
+            raise ParameterError(
+                f"unknown channel {self.channel!r}; known channels: {known}"
+            )
+        if not self.ring_sizes:
+            raise ParameterError("ring_sizes must be non-empty")
+        if not self.curves:
+            raise ParameterError("curves must be non-empty")
+        if not self.metrics:
+            raise ParameterError("metrics must be non-empty")
+        object.__setattr__(
+            self, "ring_sizes", tuple(int(r) for r in self.ring_sizes)
+        )
+        try:
+            curves = tuple((int(q), float(p)) for q, p in self.curves)
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"curves must be (q, p) pairs, got {self.curves!r}"
+            ) from exc
+        object.__setattr__(self, "curves", curves)
+        object.__setattr__(
+            self,
+            "metrics",
+            tuple(
+                m if isinstance(m, MetricSpec) else MetricSpec.from_dict(m)
+                for m in self.metrics
+            ),
+        )
+        labels = [m.label for m in self.metrics]
+        if len(set(labels)) != len(labels):
+            raise ParameterError(f"duplicate metrics in scenario: {labels}")
+        for q, p in self.curves:
+            check_probability(p, "channel_prob", allow_zero=False)
+            if self.channel == "disk" and p > _DISK_MAX_PROB:
+                raise ParameterError(
+                    f"disk channel marginal p={p} exceeds pi/4 ~ "
+                    f"{_DISK_MAX_PROB:.4f} (radius would leave the exact-"
+                    "marginal regime r <= 1/2)"
+                )
+            for ring in self.ring_sizes:
+                check_key_parameters(ring, self.pool_size, q)
+        for metric in self.metrics:
+            if metric.needs_capture and metric.captured > self.num_nodes - 2:
+                raise ParameterError(
+                    f"metric {metric.label} captures {metric.captured} of "
+                    f"{self.num_nodes} nodes; at least two must survive"
+                )
+            if metric.kind == "k_connectivity" and metric.k > 1 and self.num_nodes < metric.k + 1:
+                raise ParameterError(
+                    f"k-connectivity with k={metric.k} needs num_nodes > k"
+                )
+
+    # -- deployment grouping ------------------------------------------
+
+    def deployment_key(self) -> Tuple:
+        """Scenarios with equal keys share sampled deployments."""
+        return (self.num_nodes, self.pool_size, self.ring_sizes, self.trials, self.seed)
+
+    @property
+    def needs_capture(self) -> bool:
+        return any(m.needs_capture for m in self.metrics)
+
+    def metric_labels(self) -> Tuple[str, ...]:
+        return tuple(m.label for m in self.metrics)
+
+    # -- JSON round-trip ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "num_nodes": self.num_nodes,
+            "pool_size": self.pool_size,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+        if self.kind == "protocol":
+            out["protocol"] = self.protocol
+            out["protocol_params"] = dict(self.protocol_params)
+            return out
+        out.update(
+            {
+                "channel": self.channel,
+                "ring_sizes": list(self.ring_sizes),
+                "curves": [[q, p] for q, p in self.curves],
+                "metrics": [m.to_dict() for m in self.metrics],
+            }
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        if not isinstance(data, Mapping):
+            raise ParameterError(
+                f"scenario must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - _SCENARIO_FIELDS
+        if unknown:
+            raise ParameterError(
+                f"unknown scenario fields {sorted(unknown)}; "
+                f"valid fields: {sorted(_SCENARIO_FIELDS)}"
+            )
+        missing = {"name", "num_nodes", "pool_size", "trials"} - set(data)
+        if missing:
+            raise ParameterError(
+                f"scenario is missing required fields {sorted(missing)}"
+            )
+        curves = data.get("curves", ())
+        if not isinstance(curves, Sequence) or isinstance(curves, str):
+            raise ParameterError(f"curves must be a list of [q, p] pairs, got {curves!r}")
+        metrics_raw = data.get("metrics", ())
+        if not isinstance(metrics_raw, Sequence) or isinstance(metrics_raw, str):
+            raise ParameterError(f"metrics must be a list of mappings, got {metrics_raw!r}")
+        metrics = tuple(
+            m if isinstance(m, MetricSpec) else MetricSpec.from_dict(m)
+            for m in metrics_raw
+        )
+        protocol_params = data.get("protocol_params", {})
+        if not isinstance(protocol_params, Mapping):
+            raise ParameterError(
+                f"protocol_params must be a mapping, got {protocol_params!r}"
+            )
+        try:
+            return cls(
+                name=str(data["name"]),
+                num_nodes=int(data["num_nodes"]),  # type: ignore[arg-type]
+                pool_size=int(data["pool_size"]),  # type: ignore[arg-type]
+                trials=int(data["trials"]),  # type: ignore[arg-type]
+                ring_sizes=tuple(int(r) for r in data.get("ring_sizes", ())),  # type: ignore[union-attr]
+                curves=tuple((int(q), float(p)) for q, p in curves),
+                metrics=metrics,
+                seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+                channel=str(data.get("channel", "onoff")),
+                kind=str(data.get("kind", "sweep")),
+                protocol=data.get("protocol"),  # type: ignore[arg-type]
+                protocol_params=protocol_params,  # type: ignore[arg-type]
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ParameterError):
+                raise
+            raise ParameterError(f"malformed scenario config: {exc}") from exc
+
+    def to_json(self, **dumps_kwargs: object) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"scenario JSON does not parse: {exc}") from exc
+        return cls.from_dict(data)

@@ -197,3 +197,101 @@ class TestCli:
     def test_run_unknown_raises(self):
         with pytest.raises(ExperimentError):
             main(["run", "bogus"])
+
+    def test_run_with_set_overrides(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "theorem1", "--workers", "1",
+                    "--set", "trials=2", "--set", "ks=[1]",
+                    "--set", "alphas=[2.0]", "--set", "num_nodes=100",
+                    "--set", "key_ring_size=40", "--set", "pool_size=2000",
+                ]
+            )
+            == 0
+        )
+        assert "limit law" in capsys.readouterr().out
+
+    def test_run_with_grid_prefix_alias(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "degree_poisson", "--workers", "1",
+                    "--set", "grid.trials=2", "--set", "degrees=[0]",
+                    "--set", "num_nodes=100", "--set", "key_ring_size=40",
+                    "--set", "pool_size=2000",
+                ]
+            )
+            == 0
+        )
+        assert "TV vs Poisson" in capsys.readouterr().out
+
+    def test_run_with_unknown_set_key(self):
+        with pytest.raises(ExperimentError, match="unknown --set keys"):
+            main(["run", "kstar", "--set", "bogus_knob=3"])
+
+    def test_set_requires_key_value(self):
+        with pytest.raises(ExperimentError, match="KEY=VALUE"):
+            main(["run", "kstar", "--set", "oops"])
+
+
+class TestCliStudy:
+    STUDY = {
+        "name": "cli_smoke",
+        "num_nodes": 100,
+        "pool_size": 1500,
+        "ring_sizes": [25, 32],
+        "curves": [[2, 1.0]],
+        "metrics": [{"kind": "connectivity"}],
+        "trials": 3,
+        "seed": 5,
+    }
+
+    def test_study_file_runs_end_to_end(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(self.STUDY))
+        assert main(["study", str(path), "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cli_smoke" in out and "connectivity" in out
+
+    def test_study_set_overrides_and_save(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps({"scenarios": [self.STUDY]}))
+        save = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "study", str(path), "--workers", "1",
+                    "--set", "trials=2", "--save", str(save),
+                ]
+            )
+            == 0
+        )
+        saved = json.loads(save.read_text())
+        assert saved["scenarios"][0]["scenario"]["trials"] == 2
+
+    def test_study_missing_file(self):
+        with pytest.raises(ExperimentError, match="no such study file"):
+            main(["study", "/nonexistent/study.json"])
+
+    def test_study_malformed_json(self, tmp_path):
+        from repro.exceptions import ParameterError
+
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(ParameterError, match="does not parse"):
+            main(["study", str(path)])
+
+    def test_study_malformed_scenario(self, tmp_path):
+        import json
+
+        from repro.exceptions import ParameterError
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "num_nodes": 10}))
+        with pytest.raises(ParameterError, match="missing required fields"):
+            main(["study", str(path)])

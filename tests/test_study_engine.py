@@ -1,0 +1,111 @@
+"""Execution engine satellites: trial-block splitting and warm pools.
+
+Pins the ``run_batches`` under-utilization fix (columns splitting into
+trial blocks when there are fewer K columns than workers) and the
+persistent-pool plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation import pool
+from repro.simulation.sweep import SweepSpec, run_sweep_trials, split_trial_blocks
+
+
+class TestSplitTrialBlocks:
+    def test_split_boundary_pinned(self):
+        # 1 column, 10 trials, 4 workers: ceil(4/1) = 4 blocks with
+        # linspace boundaries 0|2|5|7|10.  This layout is part of the
+        # determinism story, so pin it exactly.
+        assert split_trial_blocks(1, 10, 4) == [
+            (0, 0, 2),
+            (0, 2, 5),
+            (0, 5, 7),
+            (0, 7, 10),
+        ]
+
+    def test_more_columns_than_workers_no_split(self):
+        blocks = split_trial_blocks(8, 10, 4)
+        assert blocks == [(c, 0, 10) for c in range(8)]
+
+    def test_splits_capped_by_trials(self):
+        # 2 trials cannot split into more than 2 blocks per column.
+        blocks = split_trial_blocks(1, 2, 16)
+        assert blocks == [(0, 0, 1), (0, 1, 2)]
+
+    def test_blocks_partition_trials(self):
+        for columns in (1, 2, 5):
+            for trials in (1, 7, 24):
+                for workers in (1, 3, 8, 20):
+                    blocks = split_trial_blocks(columns, trials, workers)
+                    for column in range(columns):
+                        spans = [
+                            (start, stop)
+                            for col, start, stop in blocks
+                            if col == column
+                        ]
+                        assert spans[0][0] == 0
+                        assert spans[-1][1] == trials
+                        for (_, stop_a), (start_b, _) in zip(spans, spans[1:]):
+                            assert stop_a == start_b
+                        assert all(start < stop for start, stop in spans)
+
+    def test_total_columns_divisor_override(self):
+        # The study compiler schedules several groups into one pool:
+        # with 4 total columns and 4 workers, a 1-column group does not
+        # split even though 1 < 4.
+        assert split_trial_blocks(1, 10, 4, total_columns=4) == [(0, 0, 10)]
+
+    def test_single_column_sweep_splits_and_stays_bit_exact(self):
+        spec = SweepSpec(
+            num_nodes=80,
+            pool_size=1000,
+            ring_sizes=(20,),
+            curves=((2, 1.0), (2, 0.5)),
+            trials=9,
+            seed=13,
+        )
+        serial = run_sweep_trials(spec, workers=1)
+        split = run_sweep_trials(spec, workers=4)
+        assert np.array_equal(serial, split)
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+class TestPersistentPool:
+    def test_executor_is_reused(self):
+        if not pool.persistent_pools_enabled():  # pragma: no cover
+            return
+        first = pool.get_executor(2)
+        second = pool.get_executor(2)
+        assert first is second
+
+    def test_smaller_request_reuses_grown_pool(self):
+        pool.shutdown_pools()  # isolate from pools grown by earlier tests
+        big = pool.get_executor(3)
+        assert pool.get_executor(2) is big  # no second resident pool
+        grown = pool.get_executor(4)
+        assert grown is not big
+
+    def test_submit_batches_ordered(self):
+        assert pool.submit_batches(_double, [3, 1, 2], workers=2) == [6, 2, 4]
+
+    def test_submit_more_batches_than_window(self):
+        assert pool.submit_batches(_double, list(range(9)), workers=2) == [
+            2 * x for x in range(9)
+        ]
+
+    def test_disabled_pool_still_works(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERSISTENT_POOL", "0")
+        assert not pool.persistent_pools_enabled()
+        assert pool.submit_batches(_double, [5, 6], workers=2) == [10, 12]
+
+    def test_shutdown_and_recreate(self):
+        pool.get_executor(2)
+        pool.shutdown_pools()
+        again = pool.get_executor(2)
+        assert pool.submit_batches(_double, [4], workers=2) == [8]
+        assert pool.get_executor(2) is again
