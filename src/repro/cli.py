@@ -14,16 +14,27 @@ Subcommands
     values: ``repro run theorem1 --set trials=200 --set "ks=[1,2]"``.
     A leading ``grid.`` namespace is accepted and stripped, so
     ``--set grid.trials=200`` is equivalent.
-``repro all [--trials N] ...``
+``repro all [--trials N] [--set k=v ...] ...``
     Run the full suite in registry order (quick trial counts unless
     overridden), printing each block — the "regenerate the evaluation
-    section" button.
+    section" button.  ``--set`` overrides are applied per experiment:
+    keys an experiment's run function does not accept are skipped with
+    a warning on stderr, so ``repro all --set trials=200`` tunes every
+    Monte Carlo experiment while the numeric ``kstar`` table just notes
+    the skip.
 ``repro study FILE.json [--workers N] [--set k=v ...] [--save PATH]``
     Run scenarios straight from JSON — one scenario object, a list, or
     ``{"scenarios": [...]}`` — with no accompanying Python.  ``--set``
     overrides a field on *every* scenario in the file (e.g. ``--set
-    trials=50``).  Results render as generic per-metric tables;
-    ``--save`` writes the full per-trial value tensors as JSON.
+    trials=50``, or ``--set "num_nodes_grid=[200,500,1000]"`` for a
+    growth sweep; setting ``num_nodes_grid`` drops a conflicting
+    ``num_nodes``, while ``--set num_nodes`` on a size-grid file also
+    requires replacing any per-size ring_sizes/curves/pool_size
+    lists).  There is no separate ``--seed``
+    flag here: the seed is a scenario field, so ``--set seed=7`` is the
+    study-file spelling of ``repro run NAME --seed 7``.  Results render
+    as generic per-metric tables; ``--save`` writes the full per-trial
+    value tensors as JSON.
 """
 
 from __future__ import annotations
@@ -62,14 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
         if cmd == "run":
             p.add_argument("name", help="experiment name (see `repro list`)")
             p.add_argument("--save", help="write the result JSON to this path")
-            p.add_argument(
-                "--set",
-                dest="overrides",
-                action="append",
-                default=[],
-                metavar="KEY=VALUE",
-                help="override any run() keyword (JSON value), repeatable",
-            )
+        p.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help=(
+                "override any run() keyword (JSON value), repeatable"
+                if cmd == "run"
+                else "override run() keywords per experiment (JSON value), "
+                "repeatable; keys an experiment does not accept are "
+                "skipped with a warning"
+            ),
+        )
         p.add_argument("--trials", type=int, default=None, help="Monte Carlo trials")
         p.add_argument("--workers", type=int, default=None, help="process count")
         p.add_argument("--seed", type=int, default=None, help="root seed override")
@@ -84,7 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="KEY=VALUE",
-        help="override a scenario field on every scenario (JSON value), repeatable",
+        help=(
+            "override a scenario field on every scenario (JSON value), "
+            "repeatable; covers seeds too (--set seed=7 — the study "
+            "subcommand has no separate --seed flag) and size grids "
+            '(--set "num_nodes_grid=[200,500]" replaces num_nodes)'
+        ),
     )
     return parser
 
@@ -112,6 +134,15 @@ def parse_overrides(pairs: List[str]) -> Dict[str, object]:
     return out
 
 
+def _run_signature(run_fn):
+    """(parameters, accepts **kwargs) of an experiment's run function."""
+    params = inspect.signature(run_fn).parameters
+    accepts_var_kw = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    return params, accepts_var_kw
+
+
 def _run_kwargs(args: argparse.Namespace, run_fn=None) -> dict:
     kwargs: dict = {}
     if args.trials is not None:
@@ -122,10 +153,7 @@ def _run_kwargs(args: argparse.Namespace, run_fn=None) -> dict:
         kwargs["seed"] = args.seed
     overrides = parse_overrides(getattr(args, "overrides", []) or [])
     if overrides and run_fn is not None:
-        params = inspect.signature(run_fn).parameters
-        accepts_var_kw = any(
-            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
-        )
+        params, accepts_var_kw = _run_signature(run_fn)
         unknown = set(overrides) - set(params)
         if unknown and not accepts_var_kw:
             raise ExperimentError(
@@ -138,10 +166,26 @@ def _run_kwargs(args: argparse.Namespace, run_fn=None) -> dict:
 
 def _strip_unsupported(spec, kwargs: dict) -> dict:
     """Drop engine knobs an experiment does not accept (e.g. numeric kstar)."""
-    params = inspect.signature(spec.run).parameters
-    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+    params, accepts_var_kw = _run_signature(spec.run)
+    if accepts_var_kw:
         return kwargs
     return {k: v for k, v in kwargs.items() if k in params}
+
+
+def _is_per_size_rings(scenario: dict) -> bool:
+    rings = scenario.get("ring_sizes")
+    return bool(rings) and isinstance(rings, list) and isinstance(rings[0], list)
+
+
+def _is_per_size_curves(scenario: dict) -> bool:
+    curves = scenario.get("curves")
+    return (
+        bool(curves)
+        and isinstance(curves, list)
+        and isinstance(curves[0], list)
+        and bool(curves[0])
+        and isinstance(curves[0][0], list)
+    )
 
 
 def _run_study_file(args: argparse.Namespace) -> int:
@@ -165,7 +209,34 @@ def _run_study_file(args: argparse.Namespace) -> int:
             scenarios = [data]
         for scenario in scenarios:
             if isinstance(scenario, dict):
+                had_grid = "num_nodes_grid" in scenario
                 scenario.update(overrides)
+                # A size-grid override replaces a pinned size and vice
+                # versa — the two declarations are mutually exclusive.
+                if "num_nodes_grid" in overrides:
+                    if "num_nodes" not in overrides:
+                        scenario.pop("num_nodes", None)
+                elif "num_nodes" in overrides and had_grid:
+                    scenario.pop("num_nodes_grid", None)
+                    # Per-size axes have no single-size meaning; demand
+                    # explicit replacements rather than failing deep in
+                    # scenario validation.
+                    leftover = [
+                        field
+                        for field, per_size in (
+                            ("ring_sizes", _is_per_size_rings(scenario)),
+                            ("curves", _is_per_size_curves(scenario)),
+                            ("pool_size", isinstance(scenario.get("pool_size"), list)),
+                        )
+                        if per_size and field not in overrides
+                    ]
+                    if leftover:
+                        raise ExperimentError(
+                            f"--set num_nodes replaces this file's "
+                            f"num_nodes_grid, but its per-size "
+                            f"{'/'.join(leftover)} cannot be kept; also pass "
+                            + " ".join(f"--set {f}=..." for f in leftover)
+                        )
 
     study = Study.from_dict(data)
     result = study.run(workers=args.workers)
@@ -195,8 +266,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "all":
+        overrides = parse_overrides(getattr(args, "overrides", []) or [])
         for spec in list_experiments():
             kwargs = _strip_unsupported(spec, _run_kwargs(args))
+            params, accepts_var_kw = _run_signature(spec.run)
+            for key, value in overrides.items():
+                if accepts_var_kw or key in params:
+                    kwargs[key] = value
+                else:
+                    print(
+                        f"warning: {spec.name} does not accept --set {key}; skipped",
+                        file=sys.stderr,
+                    )
             print(f"=== {spec.name} — {spec.paper_anchor} ===")
             result = spec.run(**kwargs)
             print(spec.render(result))

@@ -5,11 +5,20 @@ probability exceeds ``ln n / n`` — under both evaluations of
 ``s(K, P, q)`` and sets them against the values the paper reports.
 See :func:`repro.core.design.minimal_key_ring_size` for why the two
 methods differ and which the paper evidently used.
+
+With ``num_nodes_grid`` the experiment additionally runs its numeric
+*scaling check* as one declaration over the size axis: ``K*`` is
+recomputed per ``n`` for every ``(q, p)`` curve and compared against
+the asymptotic prediction ``K* ≈ sqrt(P) · (q! · ln n / (p n))^{1/2q}``
+(from ``p · (K²/P)^q / q! = ln n / n``).  Since ``ln n / n`` falls as
+``n`` grows, ``K*`` must be non-increasing along the grid — the same
+monotonicity Theorem 1's zero-one law rides.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import math
+from typing import List, Optional, Sequence
 
 from repro.core.design import PAPER_REPORTED_KSTAR, paper_kstar_table
 from repro.simulation.results import ExperimentResult
@@ -18,13 +27,29 @@ from repro.utils.tables import format_table
 __all__ = ["run_kstar", "render_kstar"]
 
 
-def run_kstar(num_nodes: int = 1000, pool_size: int = 10000) -> ExperimentResult:
-    """Compute the threshold table; purely numeric (no Monte Carlo)."""
+def _kstar_prediction(num_nodes: int, pool_size: int, q: int, p: float) -> float:
+    """Asymptotic ``K*``: solve ``p (K²/P)^q / q! = ln n / n`` for ``K``."""
+    target = math.log(num_nodes) / num_nodes
+    return math.sqrt(pool_size) * (math.factorial(q) * target / p) ** (1.0 / (2 * q))
+
+
+def run_kstar(
+    num_nodes: int = 1000,
+    pool_size: int = 10000,
+    num_nodes_grid: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Compute the threshold table; purely numeric (no Monte Carlo).
+
+    ``num_nodes_grid`` adds the growth sweep: one ``(n, q, p)`` point
+    per grid size and curve, each carrying the exact and asymptotic
+    ``K*`` plus the closed-form scaling prediction.
+    """
+    from repro.simulation.estimators import BernoulliEstimate
+    from repro.simulation.results import CurvePoint
+
     exact = paper_kstar_table(num_nodes, pool_size, method="exact")
     asym = paper_kstar_table(num_nodes, pool_size, method="asymptotic")
     points = []
-    from repro.simulation.estimators import BernoulliEstimate
-    from repro.simulation.results import CurvePoint
 
     for (q, p, k_exact), (_, _, k_asym), (_, _, k_paper) in zip(
         exact, asym, PAPER_REPORTED_KSTAR
@@ -44,9 +69,31 @@ def run_kstar(num_nodes: int = 1000, pool_size: int = 10000) -> ExperimentResult
                 prediction=None,
             )
         )
+    if num_nodes_grid is not None:
+        for n in num_nodes_grid:
+            exact_n = paper_kstar_table(n, pool_size, method="exact")
+            asym_n = paper_kstar_table(n, pool_size, method="asymptotic")
+            for (q, p, k_exact), (_, _, k_asym) in zip(exact_n, asym_n):
+                points.append(
+                    CurvePoint(
+                        point={
+                            "n": n,
+                            "q": q,
+                            "p": p,
+                            "kstar_exact": k_exact,
+                            "kstar_asymptotic": k_asym,
+                        },
+                        estimate=BernoulliEstimate.from_counts(1, 1),
+                        prediction=_kstar_prediction(n, pool_size, q, p),
+                    )
+                )
     return ExperimentResult(
         name="kstar",
-        config={"num_nodes": num_nodes, "pool_size": pool_size},
+        config={
+            "num_nodes": num_nodes,
+            "pool_size": pool_size,
+            "num_nodes_grid": None if num_nodes_grid is None else list(num_nodes_grid),
+        },
         points=points,
     )
 
@@ -54,7 +101,9 @@ def run_kstar(num_nodes: int = 1000, pool_size: int = 10000) -> ExperimentResult
 def render_kstar(result: ExperimentResult) -> str:
     rows: List[List[object]] = []
     matches = 0
-    for pt in result.points:
+    table_points = [pt for pt in result.points if "n" not in pt.point]
+    growth_points = [pt for pt in result.points if "n" in pt.point]
+    for pt in table_points:
         q = int(pt.point["q"])
         p = float(pt.point["p"])
         k_exact = int(pt.point["kstar_exact"])
@@ -79,4 +128,41 @@ def render_kstar(result: ExperimentResult) -> str:
         "(remaining rows differ by one integer step); the exact-s column "
         "is the literal Eq. (9) with the hypergeometric tail."
     )
+    if growth_points:
+        growth_rows = [
+            [
+                int(pt.point["n"]),
+                int(pt.point["q"]),
+                float(pt.point["p"]),
+                int(pt.point["kstar_exact"]),
+                int(pt.point["kstar_asymptotic"]),
+                pt.prediction,
+            ]
+            for pt in growth_points
+        ]
+        by_curve: dict = {}
+        for pt in growth_points:
+            by_curve.setdefault((pt.point["q"], pt.point["p"]), []).append(
+                (int(pt.point["n"]), int(pt.point["kstar_exact"]))
+            )
+        monotone = all(
+            all(
+                k_small >= k_big
+                for (_, k_small), (_, k_big) in zip(pairs, pairs[1:])
+            )
+            for pairs in (sorted(v) for v in by_curve.values())
+        )
+        grid = result.config["num_nodes_grid"]
+        growth = format_table(
+            ["n", "q", "p", "K* (exact)", "K* (asymptotic)", "scaling prediction"],
+            growth_rows,
+            title=f"K* growth check over n grid={grid}, P={result.config['pool_size']}",
+        )
+        verdict = (
+            "\nK* is non-increasing in n on every curve (ln n / n falls), "
+            "as the scaling demands."
+            if monotone
+            else "\nWARNING: K* fails to decrease monotonically along the n grid."
+        )
+        note = note + "\n\n" + growth + verdict
     return table + note

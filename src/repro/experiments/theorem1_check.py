@@ -42,6 +42,7 @@ def build_theorem1_study(
     pool_size: int = 10000,
     q: int = 2,
     seed: int = 20170606,
+    num_nodes_grid: Optional[Sequence[int]] = None,
 ) -> Study:
     """One scenario per ``k``; every α is one ``(q, p)`` curve.
 
@@ -51,10 +52,38 @@ def build_theorem1_study(
     numbers across the whole grid, and the ring sampling + overlap
     counting cost is paid once instead of ``len(ks) * len(alphas)``
     times.
+
+    Passing ``num_nodes_grid`` turns the α sweep into a *growth* sweep:
+    each per-``k`` scenario becomes a single size-grid declaration
+    (``num_nodes`` is ignored) whose per-size curves re-solve the
+    channel probability at every ``n``, so the convergence of the
+    empirical probability toward the n-independent limit law is
+    measured on one shared-deployment plan per ``k``.
     """
     trials = trials if trials is not None else trials_from_env(80, full=400)
     scenarios = []
     for k in ks:
+        if num_nodes_grid is not None:
+            curve_grid = tuple(
+                tuple(
+                    (q, channel_prob_for_alpha(n, key_ring_size, pool_size, q, alpha, k))
+                    for alpha in alphas
+                )
+                for n in num_nodes_grid
+            )
+            scenarios.append(
+                Scenario(
+                    name=f"theorem1_k{k}",
+                    num_nodes_grid=tuple(num_nodes_grid),
+                    pool_size=pool_size,
+                    ring_sizes=(key_ring_size,),
+                    curves=curve_grid,
+                    metrics=(MetricSpec("k_connectivity", k=k),),
+                    trials=trials,
+                    seed=seed,
+                )
+            )
+            continue
         curves = tuple(
             (q, channel_prob_for_alpha(num_nodes, key_ring_size, pool_size, q, alpha, k))
             for alpha in alphas
@@ -85,6 +114,7 @@ def run_theorem1_check(
     seed: int = 20170606,
     workers: Optional[int] = None,
     backend: str = "study",
+    num_nodes_grid: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
     """Sweep α at fixed (n, K, P, q), tuning p; estimate P[k-connected].
 
@@ -93,57 +123,70 @@ def run_theorem1_check(
     original independent-per-point sampling as a cross-check.  The
     default ``n = 500`` keeps the exact k-connectivity decision
     affordable for ``k = 2``; the bench scales ``n`` and trials via the
-    usual environment knobs.
+    usual environment knobs.  ``num_nodes_grid`` swaps the single ``n``
+    for a growth sweep over the size axis (one sized declaration per
+    ``k``); each point then also carries its ``n``.
     """
     if backend not in ("study", "legacy"):
         raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     trials = trials if trials is not None else trials_from_env(80, full=400)
     if backend == "study":
         study = build_theorem1_study(
-            trials, alphas, ks, num_nodes, key_ring_size, pool_size, q, seed
+            trials, alphas, ks, num_nodes, key_ring_size, pool_size, q, seed,
+            num_nodes_grid=num_nodes_grid,
         )
         study_result = study.run(workers=workers)
+    sizes = (num_nodes,) if num_nodes_grid is None else tuple(num_nodes_grid)
     points: List[CurvePoint] = []
     for k in ks:
-        for alpha in alphas:
-            p = channel_prob_for_alpha(
-                num_nodes, key_ring_size, pool_size, q, alpha, k
-            )
-            params = QCompositeParams(
-                num_nodes=num_nodes,
-                key_ring_size=key_ring_size,
-                pool_size=pool_size,
-                overlap=q,
-                channel_prob=p,
-            )
-            if backend == "study":
-                estimate = study_result[f"theorem1_k{k}"].bernoulli(
-                    f"k_connectivity[k={k}]", (q, p), key_ring_size
+        for n in sizes:
+            for alpha in alphas:
+                p = channel_prob_for_alpha(
+                    n, key_ring_size, pool_size, q, alpha, k
                 )
-            else:
-                estimate = estimate_k_connectivity(
-                    params,
-                    k,
-                    trials,
-                    seed=seed + int(alpha * 10) + 1000 * k,
-                    workers=workers,
+                params = QCompositeParams(
+                    num_nodes=n,
+                    key_ring_size=key_ring_size,
+                    pool_size=pool_size,
+                    overlap=q,
+                    channel_prob=p,
                 )
-            points.append(
-                CurvePoint(
-                    point={
-                        "k": k,
-                        "alpha": alpha,
-                        "channel_prob": p,
-                        "poisson_refined": min_degree_probability_poisson(params, k),
-                    },
-                    estimate=estimate,
-                    prediction=limit_probability(alpha, k),
+                if backend == "study":
+                    estimate = study_result[f"theorem1_k{k}"].bernoulli(
+                        f"k_connectivity[k={k}]",
+                        (q, p),
+                        key_ring_size,
+                        size=n if num_nodes_grid is not None else None,
+                    )
+                else:
+                    estimate = estimate_k_connectivity(
+                        params,
+                        k,
+                        trials,
+                        seed=seed + int(alpha * 10) + 1000 * k
+                        + (100 * n if num_nodes_grid is not None else 0),
+                        workers=workers,
+                    )
+                point = {
+                    "k": k,
+                    "alpha": alpha,
+                    "channel_prob": p,
+                    "poisson_refined": min_degree_probability_poisson(params, k),
+                }
+                if num_nodes_grid is not None:
+                    point["n"] = n
+                points.append(
+                    CurvePoint(
+                        point=point,
+                        estimate=estimate,
+                        prediction=limit_probability(alpha, k),
+                    )
                 )
-            )
     return ExperimentResult(
         name="theorem1_check",
         config={
             "num_nodes": num_nodes,
+            "num_nodes_grid": None if num_nodes_grid is None else list(num_nodes_grid),
             "key_ring_size": key_ring_size,
             "pool_size": pool_size,
             "q": q,
@@ -158,35 +201,43 @@ def run_theorem1_check(
 
 
 def render_theorem1_check(result: ExperimentResult) -> str:
+    sized = result.points and "n" in result.points[0].point
     rows = []
     for pt in result.points:
-        rows.append(
-            [
-                int(pt.point["k"]),
-                pt.point["alpha"],
-                pt.point["channel_prob"],
-                pt.estimate.estimate,
-                pt.estimate.ci_low,
-                pt.estimate.ci_high,
-                pt.prediction,
-                pt.point["poisson_refined"],
-            ]
-        )
+        row = [
+            int(pt.point["k"]),
+            pt.point["alpha"],
+            pt.point["channel_prob"],
+            pt.estimate.estimate,
+            pt.estimate.ci_low,
+            pt.estimate.ci_high,
+            pt.prediction,
+            pt.point["poisson_refined"],
+        ]
+        if sized:
+            row.insert(1, int(pt.point["n"]))
+        rows.append(row)
+    headers = [
+        "k",
+        "alpha",
+        "p",
+        "empirical",
+        "ci_low",
+        "ci_high",
+        "limit law",
+        "Poisson refined",
+    ]
+    if sized:
+        headers.insert(1, "n")
+        sizing = f"n grid={result.config['num_nodes_grid']}"
+    else:
+        sizing = f"n={result.config['num_nodes']}"
     return format_table(
-        [
-            "k",
-            "alpha",
-            "p",
-            "empirical",
-            "ci_low",
-            "ci_high",
-            "limit law",
-            "Poisson refined",
-        ],
+        headers,
         rows,
         title=(
             "Theorem 1 exact-probability validation "
-            f"(n={result.config['num_nodes']}, K={result.config['key_ring_size']}, "
+            f"({sizing}, K={result.config['key_ring_size']}, "
             f"P={result.config['pool_size']}, q={result.config['q']}, "
             f"trials={result.config['trials']})"
         ),

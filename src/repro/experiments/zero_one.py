@@ -6,6 +6,16 @@ manifests as a transition window around α = 0 that *narrows as n
 grows*: this experiment pins α at symmetric offsets ±α₀ and shows the
 empirical probabilities marching toward 0 and 1 as ``n`` increases,
 alongside the n-independent limit values ``exp(-e^{∓α₀})``.
+
+Since the study layer grew a size axis, the whole growth sweep is
+*one* declaration: a single :class:`~repro.study.scenario.Scenario`
+with ``num_nodes_grid``, per-size ring sizes (the minimal ``K``
+clearing the largest α at each ``n``), and per-size curves (the
+α-offset channel probabilities solved per ``n``).  Deployment
+``(size, ring, trial)`` cells are seeded by ``SeedSequence(seed,
+spawn_key=(size_index, ring_index, trial))``, so estimates are
+bit-identical for any worker count; ``backend="legacy"`` keeps the
+independent per-point sampling as a cross-check.
 """
 
 from __future__ import annotations
@@ -13,9 +23,12 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.scaling import channel_prob_for_alpha
+from repro.exceptions import ParameterError
+from repro.params import QCompositeParams
 from repro.probability.limits import limit_probability
 from repro.simulation.engine import trials_from_env
 from repro.simulation.results import CurvePoint, ExperimentResult
+from repro.simulation.runners import estimate_k_connectivity
 from repro.study import MetricSpec, Scenario, Study
 from repro.utils.tables import format_table
 
@@ -30,39 +43,44 @@ def build_zero_one_study(
     q: int = 2,
     seed: int = 20170607,
 ) -> Study:
-    """One scenario per ``n``: all ±α offsets as curves of one deployment.
+    """One sized scenario: the whole growth sweep as a single declaration.
 
     The ring size is chosen per ``n`` as the minimal ``K`` whose key
     graph clears the *largest* α in the grid at ``p = 1`` (plus
     margin), so the channel-probability solve stays within (0, 1] at
-    every point.
+    every point; the ``±α`` offsets become per-size curves.
     """
     from repro.core.design import minimal_key_ring_size
 
     trials = trials if trials is not None else trials_from_env(80, full=500)
     top_target = limit_probability(max(alpha_offsets) + 0.25, 1)
-    scenarios = []
+    ring_grid = []
+    curve_grid = []
     for n in num_nodes_grid:
         ring = minimal_key_ring_size(
             n, pool_size, q, 1.0, k=1, target_probability=min(top_target, 0.999)
         )
-        curves = tuple(
-            (q, channel_prob_for_alpha(n, ring, pool_size, q, alpha, k=1))
-            for alpha in alpha_offsets
-        )
-        scenarios.append(
-            Scenario(
-                name=f"zero_one_n{n}",
-                num_nodes=n,
-                pool_size=pool_size,
-                ring_sizes=(ring,),
-                curves=curves,
-                metrics=(MetricSpec("connectivity"),),
-                trials=trials,
-                seed=seed + n,
+        ring_grid.append((ring,))
+        curve_grid.append(
+            tuple(
+                (q, channel_prob_for_alpha(n, ring, pool_size, q, alpha, k=1))
+                for alpha in alpha_offsets
             )
         )
-    return Study(tuple(scenarios))
+    return Study(
+        (
+            Scenario(
+                name="zero_one",
+                num_nodes_grid=tuple(num_nodes_grid),
+                pool_size=pool_size,
+                ring_sizes=tuple(ring_grid),
+                curves=tuple(curve_grid),
+                metrics=(MetricSpec("connectivity"),),
+                trials=trials,
+                seed=seed,
+            ),
+        )
+    )
 
 
 def run_zero_one(
@@ -73,33 +91,56 @@ def run_zero_one(
     q: int = 2,
     seed: int = 20170607,
     workers: Optional[int] = None,
+    backend: str = "study",
 ) -> ExperimentResult:
     """Estimate P[connected] at fixed ±α across growing ``n``.
 
-    The ring size is chosen per ``n`` as the minimal ``K`` whose key
-    graph clears the *largest* α in the grid at ``p = 1`` (plus margin),
-    so the channel-probability solve stays within (0, 1] at every point.
-
-    All α offsets at one ``n`` differ only in the channel probability,
-    so they compile to one scenario per ``n`` on the shared-deployment
-    study path: the same sampled key rings serve every offset, with
-    channels realized by nested thinning.  The ±α comparison therefore
-    uses common random numbers — the transition sharpening is visible
-    at far fewer trials than with independent sampling.
+    The default ``"study"`` backend runs the single size-grid scenario
+    of :func:`build_zero_one_study`: every ``n`` is a size-axis entry
+    of one shared-deployment plan, all α offsets at one ``n`` are
+    curves of the same sampled worlds (nested channel thinning), and
+    the ±α comparison therefore uses common random numbers — the
+    transition sharpening is visible at far fewer trials than with
+    independent sampling.  ``backend="legacy"`` re-estimates every
+    ``(n, α)`` point with independent per-point sampling as a
+    cross-check.
     """
+    if backend not in ("study", "legacy"):
+        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
     trials = trials if trials is not None else trials_from_env(80, full=500)
     study = build_zero_one_study(
         trials, num_nodes_grid, alpha_offsets, pool_size, q, seed
     )
-    result = study.run(workers=workers)
+    scenario = study.scenarios[0]
+    if backend == "study":
+        scenario_result = study.run(workers=workers)["zero_one"]
     points: List[CurvePoint] = []
-    for n, scenario_result in zip(num_nodes_grid, result.results):
-        ring = scenario_result.scenario.ring_sizes[0]
-        for alpha, (_, p) in zip(alpha_offsets, scenario_result.scenario.curves):
+    for si, n in enumerate(num_nodes_grid):
+        ring = scenario.ring_sizes_at(si)[0]
+        for alpha, (_, p) in zip(alpha_offsets, scenario.curves_at(si)):
+            if backend == "study":
+                estimate = scenario_result.bernoulli(
+                    "connectivity", (q, p), ring, size=n
+                )
+            else:
+                params = QCompositeParams(
+                    num_nodes=n,
+                    key_ring_size=ring,
+                    pool_size=pool_size,
+                    overlap=q,
+                    channel_prob=p,
+                )
+                estimate = estimate_k_connectivity(
+                    params,
+                    1,
+                    trials,
+                    seed=seed + 100 * n + int(alpha * 10),
+                    workers=workers,
+                )
             points.append(
                 CurvePoint(
                     point={"n": n, "alpha": alpha, "K": ring, "p": p},
-                    estimate=scenario_result.bernoulli("connectivity", (q, p), ring),
+                    estimate=estimate,
                     prediction=limit_probability(alpha, 1),
                 )
             )
@@ -112,6 +153,7 @@ def run_zero_one(
             "pool_size": pool_size,
             "q": q,
             "seed": seed,
+            "backend": backend,
         },
         points=points,
     )

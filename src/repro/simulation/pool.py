@@ -24,10 +24,9 @@ from __future__ import annotations
 
 import atexit
 import os
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 __all__ = ["persistent_pools_enabled", "get_executor", "shutdown_pools", "submit_batches"]
 
@@ -70,17 +69,41 @@ atexit.register(shutdown_pools)
 def _windowed(
     pool: ProcessPoolExecutor, fn: Callable, batches: Sequence, workers: int
 ) -> List:
-    """Submit with at most *workers* futures in flight; results in order."""
+    """Submit with at most *workers* futures in flight; results in order.
+
+    The window waits with ``FIRST_COMPLETED``, so a slow batch never
+    gates the submission of new work behind it (the old implementation
+    blocked on the *oldest* pending future — head-of-line blocking that
+    idled workers whenever early batches ran long).  Completion order
+    is decoupled from result order: results are assigned by submission
+    index, so the returned list is identical for any completion order.
+    On failure, every not-yet-started future is cancelled before the
+    error propagates — a raising batch must not leak queued work into
+    the warm pool for the next caller to trip over.
+    """
     results: List = [None] * len(batches)
-    pending: Deque[Tuple[int, object]] = deque()
-    for index, batch in enumerate(batches):
-        pending.append((index, pool.submit(fn, batch)))
-        if len(pending) >= workers:
-            done_index, future = pending.popleft()
-            results[done_index] = future.result()  # type: ignore[attr-defined]
-    while pending:
-        done_index, future = pending.popleft()
-        results[done_index] = future.result()  # type: ignore[attr-defined]
+    index_of: Dict[Future, int] = {}
+    pending: Set[Future] = set()
+
+    def collect(done: Set[Future]) -> None:
+        for future in done:
+            results[index_of.pop(future)] = future.result()
+
+    try:
+        for index, batch in enumerate(batches):
+            future = pool.submit(fn, batch)
+            index_of[future] = index
+            pending.add(future)
+            if len(pending) >= workers:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                collect(done)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            collect(done)
+    except BaseException:
+        for future in pending:
+            future.cancel()
+        raise
     return results
 
 

@@ -23,7 +23,11 @@ correlated, while distinct trials and ring sizes stay independent.
 Determinism: deployment ``(ring_index, trial)`` of a sweep rooted at
 ``seed`` always uses ``SeedSequence(seed, spawn_key=(ring_index,
 trial))``, so results are bit-identical across worker counts and any
-single deployment can be replayed in isolation.
+single deployment can be replayed in isolation.  The study compiler
+extends the same addressing to growth sweeps by prepending a size
+index to the spawn key — ``(size_index, ring_index, trial)`` — and
+schedules its flattened ``(size, K)`` columns through
+:func:`split_trial_blocks` exactly like plain ``K`` columns.
 """
 
 from __future__ import annotations
@@ -177,9 +181,11 @@ def split_trial_blocks(
     over all their trials), but when there are fewer columns than
     workers each column splits into ``ceil(workers / columns)``
     contiguous trial blocks so the pool stays busy — the single-``K``
-    sweep under-utilization fix.  ``total_columns`` overrides the
-    divisor when the caller schedules several column groups into one
-    pool (the study compiler).  Block boundaries are a pure function of
+    sweep under-utilization fix.  A "column" is whatever the caller
+    flattens to one: the sweep engine passes ``K`` columns, the study
+    compiler passes ``size x K`` columns of a size-grid group.
+    ``total_columns`` overrides the divisor when the caller schedules
+    several column groups into one pool (the study compiler).  Block boundaries are a pure function of
     ``(num_columns, trials, workers)``; they never affect results, only
     parallelism, because every ``(column, trial)`` cell is seeded
     independently.

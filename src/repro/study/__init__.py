@@ -8,9 +8,11 @@ a deterministic function of those shared candidate-pair arrays plus a
 few extra channel draws.  This package makes that structure the API:
 
 * :class:`~repro.study.scenario.Scenario` — a frozen, JSON-round-
-  trippable description of one experiment: node count, key scheme
-  parameters, channel model, a grid over ``K`` and ``(q, p)`` curves,
-  a metric set, trial count, and seed.
+  trippable description of one experiment: node count (or a
+  ``num_nodes_grid`` size axis for growth sweeps, with per-size pool,
+  ``K`` grid, and curves), key scheme parameters, channel model, a
+  grid over ``K`` and ``(q, p)`` curves, a metric set, trial count,
+  and seed.
 * :class:`~repro.study.compiler.Study` — one or more scenarios compiled
   into a shared-deployment sweep plan.  Scenarios that share a
   deployment family (same ``n``, pool, ``K`` grid, trials, and seed)
@@ -24,9 +26,11 @@ few extra channel draws.  This package makes that structure the API:
 
 Execution is deterministic: deployment ``(ring_index, trial)`` of a
 group seeded with ``s`` always uses ``SeedSequence(s, spawn_key=
-(ring_index, trial))``, so results are bit-identical for any worker
-count and any trial-block layout.  Work runs on the persistent warm
-worker pool (:mod:`repro.simulation.pool`).
+(ring_index, trial))`` — size-grid groups prepend the size index,
+``spawn_key=(size_index, ring_index, trial)`` — so results are
+bit-identical for any worker count and any trial-block layout.  Work
+runs on the persistent warm worker pool
+(:mod:`repro.simulation.pool`).
 
 New workloads need zero new Python: write a scenario (or list of
 scenarios) as JSON and run ``repro study FILE.json``.

@@ -1,19 +1,23 @@
 """The :class:`Study` compiler: scenarios → shared-deployment sweep plan.
 
 Compilation groups sweep scenarios by deployment family — equal
-``(num_nodes, pool_size, ring_sizes, trials, seed)`` — and emits one
-plan per group.  Executing a plan samples each ``(K, trial)`` world
-exactly once (rings, overlap counts, channel variables) and evaluates
-*every* curve and metric of *every* member scenario on it: the
-common-random-numbers structure of the PR 1 sweep engine, generalized
-from "six connectivity curves" to arbitrary metric sets, the disk
-channel, and capture attacks.
+``(num_nodes, pool_size, ring_sizes, trials, seed)``, with sized
+scenarios keyed on their canonical per-size expansion — and emits one
+plan per group.  Executing a plan samples each ``(size, K, trial)``
+world exactly once (rings, overlap counts, channel variables) and
+evaluates *every* curve and metric of *every* member scenario on it:
+the common-random-numbers structure of the PR 1 sweep engine,
+generalized from "six connectivity curves" to arbitrary metric sets,
+the disk channel, capture attacks, and (since the size axis) whole
+growth sweeps in ``n``.
 
-Work units are ``(group, K-column, trial-block)`` triples.  Columns
-split into contiguous trial blocks whenever there are fewer columns
-than workers (:func:`repro.simulation.sweep.split_trial_blocks`), so a
-single-``K`` study still saturates the pool.  Because each deployment
-seed is addressed by ``(ring_index, trial)`` and per-trial values are
+Work units are ``(group, size, K-column, trial-block)`` tuples.
+Columns split into contiguous trial blocks whenever there are fewer
+``(size, K)`` columns than workers
+(:func:`repro.simulation.sweep.split_trial_blocks`), so a single-``K``
+study still saturates the pool.  Because each deployment seed is
+addressed by ``(size_index, ring_index, trial)`` for sized groups and
+``(ring_index, trial)`` for plain ones, and per-trial values are
 *assigned* (never reduced across blocks), results are bit-identical
 for any worker count and any block layout.
 
@@ -47,42 +51,81 @@ __all__ = ["Study", "GroupPlan", "run_scenario"]
 
 @dataclasses.dataclass(frozen=True)
 class GroupPlan:
-    """One deployment family and every scenario riding it."""
+    """One deployment family and every scenario riding it.
 
-    num_nodes: int
-    pool_size: int
-    ring_sizes: Tuple[int, ...]
+    Internally every plan is a size grid: plain scenarios compile to a
+    one-entry size axis.  ``sized`` records which seed addressing the
+    family uses — ``(size_index, ring_index, trial)`` for declared size
+    grids, the established ``(ring_index, trial)`` otherwise — so plain
+    scenarios keep reproducing their historical streams bit-for-bit.
+    """
+
+    sizes: Tuple[int, ...]  # num_nodes per size-axis entry
+    pool_sizes: Tuple[int, ...]  # pool size per size-axis entry
+    ring_grid: Tuple[Tuple[int, ...], ...]  # per-size K grids, equal lengths
     trials: int
     seed: int
-    q_min: int
+    sized: bool
+    q_mins: Tuple[int, ...]  # per-size min q over member curves
     needs_onoff: bool
     needs_disk: bool
     needs_capture: bool
     scenarios: Tuple[Scenario, ...]
 
     @property
+    def num_sizes(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def num_rings(self) -> int:
+        """Ring-axis length (uniform across sizes by scenario validation)."""
+        return len(self.ring_grid[0])
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of a plain (single-size) plan."""
+        return self.sizes[0]
+
+    @property
+    def pool_size(self) -> int:
+        return self.pool_sizes[0]
+
+    @property
+    def ring_sizes(self) -> Tuple[int, ...]:
+        return self.ring_grid[0]
+
+    @property
+    def q_min(self) -> int:
+        return min(self.q_mins)
+
+    @property
     def num_columns(self) -> int:
         """Value columns per deployment (scenario x curve x metric)."""
-        return sum(len(s.curves) * len(s.metrics) for s in self.scenarios)
+        return sum(s.num_curves * len(s.metrics) for s in self.scenarios)
 
     def column_offsets(self) -> List[int]:
         """Starting column of each member scenario."""
         offsets, col = [], 0
         for s in self.scenarios:
             offsets.append(col)
-            col += len(s.curves) * len(s.metrics)
+            col += s.num_curves * len(s.metrics)
         return offsets
 
 
 def _plan_group(scenarios: Sequence[Scenario]) -> GroupPlan:
     head = scenarios[0]
+    num_sizes = head.num_sizes
     return GroupPlan(
-        num_nodes=head.num_nodes,
-        pool_size=head.pool_size,
-        ring_sizes=head.ring_sizes,
+        sizes=head.sizes,
+        pool_sizes=tuple(head.pool_size_at(si) for si in range(num_sizes)),
+        ring_grid=tuple(head.ring_sizes_at(si) for si in range(num_sizes)),
         trials=head.trials,
         seed=head.seed,
-        q_min=min(q for s in scenarios for q, _ in s.curves),
+        sized=head.sized,
+        q_mins=tuple(
+            min(q for s in scenarios for q, _ in s.curves_at(si))
+            for si in range(num_sizes)
+        ),
         needs_onoff=any(s.channel == "onoff" for s in scenarios),
         needs_disk=any(s.channel == "disk" for s in scenarios),
         needs_capture=any(s.needs_capture for s in scenarios),
@@ -91,22 +134,24 @@ def _plan_group(scenarios: Sequence[Scenario]) -> GroupPlan:
 
 
 def _group_block(
-    plans: Tuple[GroupPlan, ...], block: Tuple[int, int, int, int]
+    plans: Tuple[GroupPlan, ...], block: Tuple[int, int, int, int, int]
 ) -> np.ndarray:
-    """Trials ``[start, stop)`` of one (group, K-column); all value columns."""
-    group_index, ring_index, start, stop = block
+    """Trials ``[start, stop)`` of one (group, size, K-column); all columns."""
+    group_index, size_index, ring_index, start, stop = block
     plan = plans[group_index]
-    ring = plan.ring_sizes[ring_index]
+    ring = plan.ring_grid[size_index][ring_index]
     out = np.empty((stop - start, plan.num_columns), dtype=np.float64)
     for row, trial in enumerate(range(start, stop)):
-        rng = np.random.default_rng(
-            grid_seed_sequence(plan.seed, ring_index, trial)
-        )
+        if plan.sized:
+            seed_seq = grid_seed_sequence(plan.seed, size_index, ring_index, trial)
+        else:
+            seed_seq = grid_seed_sequence(plan.seed, ring_index, trial)
+        rng = np.random.default_rng(seed_seq)
         dep = sample_deployment(
-            plan.num_nodes,
-            plan.pool_size,
+            plan.sizes[size_index],
+            plan.pool_sizes[size_index],
             ring,
-            plan.q_min,
+            plan.q_mins[size_index],
             rng,
             needs_onoff=plan.needs_onoff,
             needs_disk=plan.needs_disk,
@@ -116,7 +161,9 @@ def _group_block(
         ledgers: Dict = {}  # shared deduction state across member scenarios
         col = 0
         for scenario in plan.scenarios:
-            values = evaluate_scenario(evaluator, scenario, ledgers)
+            values = evaluate_scenario(
+                evaluator, scenario, ledgers, curves=scenario.curves_at(size_index)
+            )
             width = values.size
             out[row, col : col + width] = values.reshape(-1)
             col += width
@@ -172,36 +219,43 @@ class Study:
         effective = default_workers() if workers is None else max(1, int(workers))
         plans = tuple(self.compile())
 
-        total_columns = sum(len(p.ring_sizes) for p in plans)
-        blocks: List[Tuple[int, int, int, int]] = []
+        total_columns = sum(p.num_sizes * p.num_rings for p in plans)
+        blocks: List[Tuple[int, int, int, int, int]] = []
         for gi, plan in enumerate(plans):
-            for ring_index, start, stop in split_trial_blocks(
-                len(plan.ring_sizes), plan.trials, effective, total_columns
+            n_rings = plan.num_rings
+            for column, start, stop in split_trial_blocks(
+                plan.num_sizes * n_rings, plan.trials, effective, total_columns
             ):
-                blocks.append((gi, ring_index, start, stop))
+                blocks.append(
+                    (gi, column // n_rings, column % n_rings, start, stop)
+                )
 
         block_values = run_batches(
             functools.partial(_group_block, plans), blocks, effective
         )
 
-        # Assemble the per-group value tensors (rings, trials, columns).
+        # Assemble the per-group value tensors (sizes, rings, trials, columns).
         tensors: List[np.ndarray] = [
-            np.empty((len(p.ring_sizes), p.trials, p.num_columns)) for p in plans
+            np.empty((p.num_sizes, p.num_rings, p.trials, p.num_columns))
+            for p in plans
         ]
-        for (gi, ring_index, start, stop), values in zip(blocks, block_values):
-            tensors[gi][ring_index, start:stop, :] = values
+        for (gi, si, ri, start, stop), values in zip(blocks, block_values):
+            tensors[gi][si, ri, start:stop, :] = values
 
         # Slice each scenario's columns back out, in study order.
         by_name: Dict[str, ScenarioResult] = {}
         for plan, tensor in zip(plans, tensors):
             for scenario, offset in zip(plan.scenarios, plan.column_offsets()):
-                width = len(scenario.curves) * len(scenario.metrics)
-                values = tensor[:, :, offset : offset + width].reshape(
-                    len(plan.ring_sizes),
+                width = scenario.num_curves * len(scenario.metrics)
+                values = tensor[:, :, :, offset : offset + width].reshape(
+                    plan.num_sizes,
+                    plan.num_rings,
                     plan.trials,
-                    len(scenario.curves),
+                    scenario.num_curves,
                     len(scenario.metrics),
                 )
+                if not scenario.sized:
+                    values = values[0]
                 by_name[scenario.name] = ScenarioResult(
                     scenario=scenario,
                     values=np.ascontiguousarray(values),
@@ -215,26 +269,42 @@ class Study:
         provenance: Dict[str, object] = {
             "engine": "study/v1",
             "workers": effective,
-            "groups": [
-                {
-                    "scenarios": [s.name for s in plan.scenarios],
-                    "num_nodes": plan.num_nodes,
-                    "pool_size": plan.pool_size,
-                    "ring_sizes": list(plan.ring_sizes),
-                    "trials": plan.trials,
-                    "seed": plan.seed,
-                    "q_min": plan.q_min,
-                }
-                for plan in plans
-            ],
+            "groups": [self._group_provenance(plan) for plan in plans],
             "deployments": int(
-                sum(len(p.ring_sizes) * p.trials for p in plans)
+                sum(p.num_sizes * p.num_rings * p.trials for p in plans)
             ),
         }
         return StudyResult(
             results=tuple(by_name[s.name] for s in self.scenarios),
             provenance=provenance,
         )
+
+    @staticmethod
+    def _group_provenance(plan: GroupPlan) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "scenarios": [s.name for s in plan.scenarios],
+            "trials": plan.trials,
+            "seed": plan.seed,
+        }
+        if plan.sized:
+            out.update(
+                {
+                    "num_nodes_grid": list(plan.sizes),
+                    "pool_sizes": list(plan.pool_sizes),
+                    "ring_sizes": [list(rings) for rings in plan.ring_grid],
+                    "q_mins": list(plan.q_mins),
+                }
+            )
+        else:
+            out.update(
+                {
+                    "num_nodes": plan.num_nodes,
+                    "pool_size": plan.pool_size,
+                    "ring_sizes": list(plan.ring_sizes),
+                    "q_min": plan.q_min,
+                }
+            )
+        return out
 
     # -- JSON round-trip ----------------------------------------------
 

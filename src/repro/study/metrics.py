@@ -330,8 +330,13 @@ def evaluate_scenario(
     evaluator: DeploymentEvaluator,
     scenario: Scenario,
     ledgers: Optional[Dict] = None,
+    curves: Optional[Tuple] = None,
 ) -> np.ndarray:
     """All ``(curve, metric)`` values of one scenario on one deployment.
+
+    *curves* overrides the scenario's flat curve grid — the compiler
+    passes ``scenario.curves_at(size_index)`` so sized scenarios
+    evaluate the curve list belonging to the deployment's network size.
 
     Monotone indicator metrics use lattice deduction: every measured
     value is recorded in a per-deployment ledger at coordinates
@@ -347,7 +352,8 @@ def evaluate_scenario(
     exhaustive evaluation; the expensive exact k-connectivity decision
     is precisely the metric they short-circuit most often.
     """
-    curves = scenario.curves
+    if curves is None:
+        curves = scenario.curves
     out = np.empty((len(curves), len(scenario.metrics)), dtype=np.float64)
     if ledgers is None:
         ledgers = {}

@@ -1,13 +1,21 @@
 """Typed study results: full per-trial value arrays + estimators.
 
-A :class:`ScenarioResult` keeps the raw value tensor of shape
-``(rings, trials, curves, metrics)`` rather than pre-aggregated counts.
-That is what makes the declarative layer as expressive as the bespoke
-loops it replaced: Bernoulli estimates, means/variances, histograms,
-agreement rates between two metrics measured on the *same* deployments,
-and ratio estimates (attack compromise fractions) are all cheap
-post-processing of the tensor, and saved results can be re-analyzed
-without re-simulating.
+A :class:`ScenarioResult` keeps the raw value tensor — shape
+``(rings, trials, curves, metrics)`` for plain scenarios and
+``(sizes, rings, trials, curves, metrics)`` for size-grid scenarios —
+rather than pre-aggregated counts.  That is what makes the declarative
+layer as expressive as the bespoke loops it replaced: Bernoulli
+estimates, means/variances, histograms, agreement rates between two
+metrics measured on the *same* deployments, and ratio estimates
+(attack compromise fractions) are all cheap post-processing of the
+tensor, and saved results can be re-analyzed without re-simulating.
+
+Whether a metric is Bernoulli-estimable is decided by its
+:class:`~repro.study.scenario.MetricSpec` (``is_indicator``), never by
+inspecting the measured values: a value metric that happens to be
+pinned at 0/1 (e.g. ``giant_fraction`` at saturating ``p``) is still a
+value metric and renders as mean ± std.  Protocol results carry no
+metric specs, so their values fall back to the 0/1 check.
 """
 
 from __future__ import annotations
@@ -31,10 +39,12 @@ __all__ = ["ScenarioResult", "StudyResult", "render_study_result"]
 class ScenarioResult:
     """All measured values of one scenario.
 
-    ``values[r, t, c, m]`` is metric ``m`` of curve ``c`` measured on
-    deployment ``(ring_sizes[r], trial t)``.  Protocol scenarios use a
-    single pseudo-ring and pseudo-curve with one column per protocol
-    value.
+    For a plain scenario ``values[r, t, c, m]`` is metric ``m`` of
+    curve ``c`` measured on deployment ``(ring_sizes[r], trial t)``.
+    A size-grid scenario carries the size axis in front:
+    ``values[s, r, t, c, m]`` for deployment ``(num_nodes_grid[s],
+    ring s/r, trial t)``.  Protocol scenarios use a single pseudo-ring
+    and pseudo-curve with one column per protocol value.
     """
 
     scenario: Scenario
@@ -44,16 +54,37 @@ class ScenarioResult:
     def __post_init__(self) -> None:
         values = np.asarray(self.values, dtype=np.float64)
         object.__setattr__(self, "values", values)
-        if values.ndim != 4:
+        expected = 5 if self.scenario.sized else 4
+        shape = (
+            "(sizes, rings, trials, curves, metrics)"
+            if self.scenario.sized
+            else "(rings, trials, curves, metrics)"
+        )
+        if values.ndim != expected:
             raise ExperimentError(
-                f"values must have shape (rings, trials, curves, metrics), "
-                f"got {values.shape}"
+                f"values must have shape {shape}, got {values.shape}"
             )
 
     # -- index helpers -------------------------------------------------
 
-    def _ring_index(self, ring: Optional[int]) -> int:
-        rings = self.scenario.ring_sizes or (0,)
+    def _size_index(self, size: Optional[int]) -> int:
+        sizes = self.scenario.sizes
+        if size is None:
+            if len(sizes) != 1:
+                raise ExperimentError(
+                    f"scenario {self.scenario.name!r} has {len(sizes)} sizes "
+                    f"{sizes}; pass size= explicitly"
+                )
+            return 0
+        if size not in sizes:
+            raise ExperimentError(
+                f"size {size} not in scenario {self.scenario.name!r} "
+                f"sizes {sizes}"
+            )
+        return sizes.index(size)
+
+    def _ring_index(self, ring: Optional[int], size_index: int) -> int:
+        rings = self.scenario.ring_sizes_at(size_index) or (0,)
         if ring is None:
             if len(rings) != 1:
                 raise ExperimentError(
@@ -68,8 +99,8 @@ class ScenarioResult:
             )
         return rings.index(ring)
 
-    def _curve_index(self, curve: Optional[Curve]) -> int:
-        curves = self.scenario.curves or ((0, 0.0),)
+    def _curve_index(self, curve: Optional[Curve], size_index: int) -> int:
+        curves = self.scenario.curves_at(size_index) or ((0, 0.0),)
         if curve is None:
             if len(curves) != 1:
                 raise ExperimentError(
@@ -99,6 +130,18 @@ class ScenarioResult:
             )
         return self.metric_labels.index(metric)
 
+    def _metric_is_indicator(self, index: int, series: np.ndarray) -> bool:
+        """Whether the metric at *index* is Bernoulli-estimable.
+
+        Decided by the scenario's :class:`MetricSpec` when one carries
+        the label (sweep scenarios).  Protocol results have no specs,
+        so their values fall back to the 0/1 membership check.
+        """
+        spec = self.scenario.metric_by_label(self.metric_labels[index])
+        if spec is not None:
+            return spec.is_indicator
+        return bool(np.isin(series, (0.0, 1.0)).all())
+
     # -- estimators ----------------------------------------------------
 
     def series(
@@ -106,29 +149,44 @@ class ScenarioResult:
         metric: Optional[str] = None,
         curve: Optional[Curve] = None,
         ring: Optional[int] = None,
+        size: Optional[int] = None,
     ) -> np.ndarray:
-        """Per-trial values of one ``(ring, curve, metric)`` cell."""
-        return self.values[
-            self._ring_index(ring), :, self._curve_index(curve), self._metric_index(metric)
-        ]
+        """Per-trial values of one ``(size, ring, curve, metric)`` cell.
+
+        *size* is the network's node count (an entry of
+        ``num_nodes_grid``); it may be omitted for plain scenarios and
+        one-size grids, like *ring* and *curve* for one-entry axes.
+        """
+        si = self._size_index(size)
+        cell = (
+            self._ring_index(ring, si),
+            slice(None),
+            self._curve_index(curve, si),
+            self._metric_index(metric),
+        )
+        if self.scenario.sized:
+            return self.values[(si,) + cell]
+        return self.values[cell]
 
     def successes(
         self,
         metric: Optional[str] = None,
         curve: Optional[Curve] = None,
         ring: Optional[int] = None,
+        size: Optional[int] = None,
     ) -> int:
-        return int(self.series(metric, curve, ring).sum())
+        return int(self.series(metric, curve, ring, size).sum())
 
     def bernoulli(
         self,
         metric: Optional[str] = None,
         curve: Optional[Curve] = None,
         ring: Optional[int] = None,
+        size: Optional[int] = None,
     ) -> BernoulliEstimate:
         """Wilson-interval estimate of an indicator metric."""
-        series = self.series(metric, curve, ring)
-        if not np.isin(series, (0.0, 1.0)).all():
+        series = self.series(metric, curve, ring, size)
+        if not self._metric_is_indicator(self._metric_index(metric), series):
             raise ExperimentError(
                 f"metric {metric!r} is not an indicator; use series()/mean()"
             )
@@ -139,8 +197,9 @@ class ScenarioResult:
         metric: Optional[str] = None,
         curve: Optional[Curve] = None,
         ring: Optional[int] = None,
+        size: Optional[int] = None,
     ) -> float:
-        return float(self.series(metric, curve, ring).mean())
+        return float(self.series(metric, curve, ring, size).mean())
 
     def agreement(
         self,
@@ -148,14 +207,15 @@ class ScenarioResult:
         metric_b: str,
         curve: Optional[Curve] = None,
         ring: Optional[int] = None,
+        size: Optional[int] = None,
     ) -> float:
         """Fraction of deployments where two metrics coincide.
 
         Meaningful because both metrics were measured on the *same*
         sampled worlds — the common-random-numbers payoff.
         """
-        a = self.series(metric_a, curve, ring)
-        b = self.series(metric_b, curve, ring)
+        a = self.series(metric_a, curve, ring, size)
+        b = self.series(metric_b, curve, ring, size)
         return float((a == b).mean())
 
     def to_dict(self) -> Dict[str, object]:
@@ -215,39 +275,51 @@ class StudyResult:
 def render_study_result(result: StudyResult) -> str:
     """Generic rendering: one table per scenario, one row per cell.
 
-    Indicator metrics get Wilson intervals; value metrics get
-    mean ± sample std.  This is the output of ``repro study FILE.json``
-    for ad-hoc scenario files that have no bespoke renderer.
+    Indicator metrics (per their :class:`MetricSpec`) get Wilson
+    intervals; value metrics get mean ± sample std even when their
+    measured values happen to be all 0/1.  Size-grid scenarios emit one
+    row per ``(n, K, curve, metric)`` cell.  This is the output of
+    ``repro study FILE.json`` for ad-hoc scenario files that have no
+    bespoke renderer.
     """
     blocks: List[str] = []
     for res in result.results:
         sc = res.scenario
         rows: List[Sequence[object]] = []
-        rings = sc.ring_sizes or ("-",)
-        curves = sc.curves or (("-", "-"),)
-        for ri, ring in enumerate(rings):
-            for ci, (q, p) in enumerate(curves):
-                for mi, label in enumerate(res.metric_labels):
-                    series = res.values[ri, :, ci, mi]
-                    if np.isin(series, (0.0, 1.0)).all():
-                        est = BernoulliEstimate.from_counts(
-                            int(series.sum()), series.size
-                        )
-                        rows.append(
-                            [ring, q, p, label, est.estimate, est.ci_low, est.ci_high]
-                        )
-                    else:
-                        std = float(series.std(ddof=1)) if series.size > 1 else 0.0
-                        rows.append(
-                            [ring, q, p, label, float(series.mean()), std, ""]
-                        )
+        for si, n in enumerate(sc.sizes):
+            rings = sc.ring_sizes_at(si) or ("-",)
+            curves = sc.curves_at(si) or (("-", "-"),)
+            for ri, ring in enumerate(rings):
+                for ci, (q, p) in enumerate(curves):
+                    for mi, label in enumerate(res.metric_labels):
+                        if sc.sized:
+                            series = res.values[si, ri, :, ci, mi]
+                        else:
+                            series = res.values[ri, :, ci, mi]
+                        if res._metric_is_indicator(mi, series):
+                            est = BernoulliEstimate.from_counts(
+                                int(series.sum()), series.size
+                            )
+                            rows.append(
+                                [n, ring, q, p, label,
+                                 est.estimate, est.ci_low, est.ci_high]
+                            )
+                        else:
+                            std = float(series.std(ddof=1)) if series.size > 1 else 0.0
+                            rows.append(
+                                [n, ring, q, p, label, float(series.mean()), std, ""]
+                            )
+        if sc.sized:
+            sizing = f"n grid={list(sc.num_nodes_grid)}"
+        else:
+            sizing = f"n={sc.num_nodes}"
         title = (
-            f"scenario {sc.name!r} (kind={sc.kind}, n={sc.num_nodes}, "
+            f"scenario {sc.name!r} (kind={sc.kind}, {sizing}, "
             f"P={sc.pool_size}, trials={sc.trials}, seed={sc.seed})"
         )
         blocks.append(
             format_table(
-                ["K", "q", "p", "metric", "estimate", "ci_low/std", "ci_high"],
+                ["n", "K", "q", "p", "metric", "estimate", "ci_low/std", "ci_high"],
                 rows,
                 title=title,
             )

@@ -14,6 +14,21 @@ Two scenario kinds exist:
 * ``"protocol"`` — a named bespoke trial protocol (see
   :mod:`repro.study.protocols`) for workloads whose sampling cannot be
   expressed as a post-filter (e.g. the Lemma 5 coupled-ring pair).
+
+Size axis
+---------
+Growth sweeps (the zero–one law, any asymptotics-in-``n`` check) are
+declared with ``num_nodes_grid`` instead of ``num_nodes``: one scenario
+then spans a whole grid of network sizes.  ``pool_size``,
+``ring_sizes``, and ``curves`` may each be given once (shared by every
+size) or per size (a list with one entry per grid point, e.g. the
+alpha-offset ring sizes the zero-one law solves per ``n``).  Per-size
+``ring_sizes``/``curves`` lists must all have the same length, so the
+result tensor stays rectangular: ``values[s, r, t, c, m]``.  Each
+``(size, K, trial)`` cell is sampled exactly once, with the
+deterministic seed ``SeedSequence(seed, spawn_key=(size_index,
+ring_index, trial))``; plain (un-sized) scenarios keep the established
+``(ring_index, trial)`` addressing, so existing results are unchanged.
 """
 
 from __future__ import annotations
@@ -21,7 +36,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ParameterError
 from repro.utils.validation import (
@@ -149,6 +164,7 @@ class MetricSpec:
 _SCENARIO_FIELDS = {
     "name",
     "num_nodes",
+    "num_nodes_grid",
     "pool_size",
     "ring_sizes",
     "curves",
@@ -162,6 +178,14 @@ _SCENARIO_FIELDS = {
 }
 
 
+def _is_nested(seq: Sequence) -> bool:
+    """Whether *seq*'s first element is itself a sequence (per-size form)."""
+    if not seq:
+        return False
+    head = seq[0]
+    return isinstance(head, Sequence) and not isinstance(head, str)
+
+
 @dataclasses.dataclass(frozen=True)
 class Scenario:
     """A frozen, JSON-round-trippable experiment description.
@@ -171,12 +195,21 @@ class Scenario:
     name:
         Identifier used to look the scenario's result up in a
         :class:`~repro.study.result.StudyResult`.
-    num_nodes, pool_size:
-        ``n`` and ``P`` of the key-predistribution model.
+    num_nodes, num_nodes_grid:
+        ``n`` of the key-predistribution model.  Exactly one must be
+        set for sweep scenarios: a single ``num_nodes`` pins one size;
+        ``num_nodes_grid`` declares a whole growth sweep (one size axis
+        entry per ``n``, distinct values).
+    pool_size:
+        ``P`` of the model — one int shared by every size, or (with a
+        size grid) one int per size.
     ring_sizes:
-        The ``K`` grid (one deployment family per ``K``).
+        The ``K`` grid (one deployment family per ``K``) — one flat
+        list shared by every size, or one equal-length list per size.
     curves:
-        ``(q, p)`` post-filters evaluated on every deployment.
+        ``(q, p)`` post-filters evaluated on every deployment — shared,
+        or one equal-length list per size (growth sweeps solve ``p``
+        per ``n``).
     metrics:
         Metric set derived per deployment and curve.
     trials, seed:
@@ -193,11 +226,12 @@ class Scenario:
     """
 
     name: str
-    num_nodes: int
-    pool_size: int
-    trials: int
-    ring_sizes: Tuple[int, ...] = ()
-    curves: Tuple[Curve, ...] = ()
+    num_nodes: Optional[int] = None
+    pool_size: Union[int, Tuple[int, ...], None] = None
+    trials: Optional[int] = None
+    num_nodes_grid: Tuple[int, ...] = ()
+    ring_sizes: Tuple = ()
+    curves: Tuple = ()
     metrics: Tuple[MetricSpec, ...] = ()
     seed: int = 0
     channel: str = "onoff"
@@ -208,9 +242,9 @@ class Scenario:
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ParameterError(f"scenario name must be a non-empty string, got {self.name!r}")
-        check_positive_int(self.num_nodes, "num_nodes")
-        check_positive_int(self.pool_size, "pool_size")
-        check_positive_int(self.trials, "trials")
+        if self.trials is None:
+            raise ParameterError("scenario is missing required field 'trials'")
+        object.__setattr__(self, "trials", check_positive_int(self.trials, "trials"))
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ParameterError(f"seed must be an int, got {self.seed!r}")
         if self.seed < 0:
@@ -219,6 +253,7 @@ class Scenario:
             raise ParameterError(
                 f"unknown scenario kind {self.kind!r}; use 'sweep' or 'protocol'"
             )
+        self._normalize_sizes()
         if isinstance(self.protocol_params, Mapping):
             object.__setattr__(
                 self, "protocol_params", tuple(sorted(self.protocol_params.items()))
@@ -234,7 +269,120 @@ class Scenario:
             return
         self._validate_sweep()
 
+    # -- size axis normalization --------------------------------------
+
+    def _normalize_sizes(self) -> None:
+        grid = self.num_nodes_grid
+        if grid is None:
+            grid = ()
+        if isinstance(grid, (int, str)) or not isinstance(grid, Sequence):
+            raise ParameterError(
+                f"num_nodes_grid must be a sequence of ints, got {grid!r}"
+            )
+        object.__setattr__(
+            self,
+            "num_nodes_grid",
+            tuple(check_positive_int(n, "num_nodes_grid entry") for n in grid),
+        )
+        if len(set(self.num_nodes_grid)) != len(self.num_nodes_grid):
+            raise ParameterError(
+                f"num_nodes_grid sizes must be distinct, got {self.num_nodes_grid}"
+            )
+        if self.sized:
+            if self.num_nodes is not None:
+                raise ParameterError(
+                    "set exactly one of num_nodes / num_nodes_grid "
+                    f"(got num_nodes={self.num_nodes} and "
+                    f"num_nodes_grid={self.num_nodes_grid})"
+                )
+        else:
+            if self.num_nodes is None:
+                raise ParameterError(
+                    "scenario needs num_nodes (one size) or num_nodes_grid "
+                    "(a growth sweep)"
+                )
+            object.__setattr__(
+                self, "num_nodes", check_positive_int(self.num_nodes, "num_nodes")
+            )
+        # pool_size: one int shared by every size, or one per size.
+        pool = self.pool_size
+        if pool is None:
+            raise ParameterError("scenario is missing required field 'pool_size'")
+        if isinstance(pool, Sequence) and not isinstance(pool, str):
+            if not self.sized:
+                raise ParameterError(
+                    "per-size pool_size lists require num_nodes_grid; "
+                    f"got pool_size={list(pool)!r} without a size grid"
+                )
+            if len(pool) != self.num_sizes:
+                raise ParameterError(
+                    f"pool_size has {len(pool)} entries but num_nodes_grid "
+                    f"has {self.num_sizes} sizes"
+                )
+            object.__setattr__(
+                self,
+                "pool_size",
+                tuple(check_positive_int(p, "pool_size entry") for p in pool),
+            )
+        else:
+            object.__setattr__(
+                self, "pool_size", check_positive_int(pool, "pool_size")
+            )
+
+    # -- size accessors ------------------------------------------------
+
+    @property
+    def sized(self) -> bool:
+        """Whether this scenario declares a size grid over ``n``."""
+        return bool(self.num_nodes_grid)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """The node-count axis (length 1 for plain scenarios)."""
+        return self.num_nodes_grid if self.sized else (self.num_nodes,)
+
+    @property
+    def num_sizes(self) -> int:
+        return len(self.sizes)
+
+    def num_nodes_at(self, size_index: int) -> int:
+        return self.sizes[size_index]
+
+    def pool_size_at(self, size_index: int) -> int:
+        if isinstance(self.pool_size, tuple):
+            return self.pool_size[size_index]
+        return self.pool_size
+
+    def ring_sizes_at(self, size_index: int) -> Tuple[int, ...]:
+        """The ``K`` grid of one size (per-size or shared declaration)."""
+        if _is_nested(self.ring_sizes):
+            return self.ring_sizes[size_index]
+        return self.ring_sizes
+
+    def curves_at(self, size_index: int) -> Tuple[Curve, ...]:
+        """The ``(q, p)`` curves of one size."""
+        if self.curves and _is_nested(self.curves[0]):
+            return self.curves[size_index]
+        return self.curves
+
+    @property
+    def num_rings(self) -> int:
+        """Ring-axis length (uniform across sizes by validation)."""
+        return len(self.ring_sizes_at(0)) if self.ring_sizes else 0
+
+    @property
+    def num_curves(self) -> int:
+        """Curve-axis length (uniform across sizes by validation)."""
+        return len(self.curves_at(0)) if self.curves else 0
+
+    # -- validation ----------------------------------------------------
+
     def _validate_protocol(self) -> None:
+        if self.sized:
+            raise ParameterError(
+                "protocol scenarios run one bespoke trial loop per size; "
+                "num_nodes_grid is only supported for sweep scenarios"
+            )
         if not self.protocol:
             raise ParameterError(
                 "protocol scenarios need a 'protocol' name "
@@ -248,6 +396,67 @@ class Scenario:
         from repro.study.protocols import get_protocol
 
         get_protocol(self.protocol)  # raises ExperimentError if unknown
+
+    def _normalize_ring_sizes(self) -> None:
+        rings = self.ring_sizes
+        if _is_nested(rings):
+            if not self.sized:
+                raise ParameterError(
+                    "per-size ring_sizes lists require num_nodes_grid; "
+                    f"got nested ring_sizes {rings!r} without a size grid"
+                )
+            if len(rings) != self.num_sizes:
+                raise ParameterError(
+                    f"ring_sizes has {len(rings)} per-size entries but "
+                    f"num_nodes_grid has {self.num_sizes} sizes"
+                )
+            nested = tuple(tuple(int(r) for r in per_size) for per_size in rings)
+            lengths = {len(per_size) for per_size in nested}
+            if len(lengths) != 1 or 0 in lengths:
+                raise ParameterError(
+                    "per-size ring_sizes entries must be non-empty and all "
+                    f"the same length (rectangular K axis), got lengths "
+                    f"{[len(p) for p in nested]}"
+                )
+            object.__setattr__(self, "ring_sizes", nested)
+        else:
+            object.__setattr__(
+                self, "ring_sizes", tuple(int(r) for r in rings)
+            )
+
+    def _normalize_curves(self) -> None:
+        curves = self.curves
+
+        def as_curves(seq, where: str) -> Tuple[Curve, ...]:
+            try:
+                return tuple((int(q), float(p)) for q, p in seq)
+            except (TypeError, ValueError) as exc:
+                raise ParameterError(
+                    f"curves must be (q, p) pairs, got {where!r}"
+                ) from exc
+
+        if curves and _is_nested(curves[0]):
+            if not self.sized:
+                raise ParameterError(
+                    "per-size curves lists require num_nodes_grid; "
+                    f"got nested curves {curves!r} without a size grid"
+                )
+            if len(curves) != self.num_sizes:
+                raise ParameterError(
+                    f"curves has {len(curves)} per-size entries but "
+                    f"num_nodes_grid has {self.num_sizes} sizes"
+                )
+            nested = tuple(as_curves(per_size, per_size) for per_size in curves)
+            lengths = {len(per_size) for per_size in nested}
+            if len(lengths) != 1 or 0 in lengths:
+                raise ParameterError(
+                    "per-size curves entries must be non-empty and all the "
+                    f"same length (rectangular curve axis), got lengths "
+                    f"{[len(p) for p in nested]}"
+                )
+            object.__setattr__(self, "curves", nested)
+        else:
+            object.__setattr__(self, "curves", as_curves(curves, curves))
 
     def _validate_sweep(self) -> None:
         if self.protocol is not None or self.protocol_params:
@@ -265,16 +474,8 @@ class Scenario:
             raise ParameterError("curves must be non-empty")
         if not self.metrics:
             raise ParameterError("metrics must be non-empty")
-        object.__setattr__(
-            self, "ring_sizes", tuple(int(r) for r in self.ring_sizes)
-        )
-        try:
-            curves = tuple((int(q), float(p)) for q, p in self.curves)
-        except (TypeError, ValueError) as exc:
-            raise ParameterError(
-                f"curves must be (q, p) pairs, got {self.curves!r}"
-            ) from exc
-        object.__setattr__(self, "curves", curves)
+        self._normalize_ring_sizes()
+        self._normalize_curves()
         object.__setattr__(
             self,
             "metrics",
@@ -286,23 +487,26 @@ class Scenario:
         labels = [m.label for m in self.metrics]
         if len(set(labels)) != len(labels):
             raise ParameterError(f"duplicate metrics in scenario: {labels}")
-        for q, p in self.curves:
-            check_probability(p, "channel_prob", allow_zero=False)
-            if self.channel == "disk" and p > _DISK_MAX_PROB:
-                raise ParameterError(
-                    f"disk channel marginal p={p} exceeds pi/4 ~ "
-                    f"{_DISK_MAX_PROB:.4f} (radius would leave the exact-"
-                    "marginal regime r <= 1/2)"
-                )
-            for ring in self.ring_sizes:
-                check_key_parameters(ring, self.pool_size, q)
+        for si in range(self.num_sizes):
+            pool = self.pool_size_at(si)
+            for q, p in self.curves_at(si):
+                check_probability(p, "channel_prob", allow_zero=False)
+                if self.channel == "disk" and p > _DISK_MAX_PROB:
+                    raise ParameterError(
+                        f"disk channel marginal p={p} exceeds pi/4 ~ "
+                        f"{_DISK_MAX_PROB:.4f} (radius would leave the exact-"
+                        "marginal regime r <= 1/2)"
+                    )
+                for ring in self.ring_sizes_at(si):
+                    check_key_parameters(ring, pool, q)
+        smallest = min(self.sizes)
         for metric in self.metrics:
-            if metric.needs_capture and metric.captured > self.num_nodes - 2:
+            if metric.needs_capture and metric.captured > smallest - 2:
                 raise ParameterError(
                     f"metric {metric.label} captures {metric.captured} of "
-                    f"{self.num_nodes} nodes; at least two must survive"
+                    f"{smallest} nodes; at least two must survive"
                 )
-            if metric.kind == "k_connectivity" and metric.k > 1 and self.num_nodes < metric.k + 1:
+            if metric.kind == "k_connectivity" and metric.k > 1 and smallest < metric.k + 1:
                 raise ParameterError(
                     f"k-connectivity with k={metric.k} needs num_nodes > k"
                 )
@@ -310,7 +514,23 @@ class Scenario:
     # -- deployment grouping ------------------------------------------
 
     def deployment_key(self) -> Tuple:
-        """Scenarios with equal keys share sampled deployments."""
+        """Scenarios with equal keys share sampled deployments.
+
+        Sized scenarios key on the canonical per-size expansion (so a
+        flat shared ``ring_sizes`` groups with the equivalent nested
+        declaration) and carry a marker distinguishing them from plain
+        scenarios: the two use different seed addressing, so a one-size
+        grid never silently shares deployments with a plain scenario.
+        """
+        if self.sized:
+            return (
+                "sized",
+                self.sizes,
+                tuple(self.pool_size_at(s) for s in range(self.num_sizes)),
+                tuple(self.ring_sizes_at(s) for s in range(self.num_sizes)),
+                self.trials,
+                self.seed,
+            )
         return (self.num_nodes, self.pool_size, self.ring_sizes, self.trials, self.seed)
 
     @property
@@ -320,26 +540,49 @@ class Scenario:
     def metric_labels(self) -> Tuple[str, ...]:
         return tuple(m.label for m in self.metrics)
 
+    def metric_by_label(self, label: str) -> Optional[MetricSpec]:
+        """The :class:`MetricSpec` carrying *label*, or ``None``."""
+        for metric in self.metrics:
+            if metric.label == label:
+                return metric
+        return None
+
     # -- JSON round-trip ----------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
             "name": self.name,
             "kind": self.kind,
-            "num_nodes": self.num_nodes,
-            "pool_size": self.pool_size,
             "trials": self.trials,
             "seed": self.seed,
         }
+        if self.sized:
+            out["num_nodes_grid"] = list(self.num_nodes_grid)
+        else:
+            out["num_nodes"] = self.num_nodes
+        if isinstance(self.pool_size, tuple):
+            out["pool_size"] = list(self.pool_size)
+        else:
+            out["pool_size"] = self.pool_size
         if self.kind == "protocol":
             out["protocol"] = self.protocol
             out["protocol_params"] = dict(self.protocol_params)
             return out
+        if _is_nested(self.ring_sizes):
+            rings: object = [list(per_size) for per_size in self.ring_sizes]
+        else:
+            rings = list(self.ring_sizes)
+        if self.curves and _is_nested(self.curves[0]):
+            curves: object = [
+                [[q, p] for q, p in per_size] for per_size in self.curves
+            ]
+        else:
+            curves = [[q, p] for q, p in self.curves]
         out.update(
             {
                 "channel": self.channel,
-                "ring_sizes": list(self.ring_sizes),
-                "curves": [[q, p] for q, p in self.curves],
+                "ring_sizes": rings,
+                "curves": curves,
                 "metrics": [m.to_dict() for m in self.metrics],
             }
         )
@@ -357,7 +600,9 @@ class Scenario:
                 f"unknown scenario fields {sorted(unknown)}; "
                 f"valid fields: {sorted(_SCENARIO_FIELDS)}"
             )
-        missing = {"name", "num_nodes", "pool_size", "trials"} - set(data)
+        missing = {"name", "pool_size", "trials"} - set(data)
+        if not ({"num_nodes", "num_nodes_grid"} & set(data)):
+            missing.add("num_nodes")
         if missing:
             raise ParameterError(
                 f"scenario is missing required fields {sorted(missing)}"
@@ -377,14 +622,16 @@ class Scenario:
             raise ParameterError(
                 f"protocol_params must be a mapping, got {protocol_params!r}"
             )
+        num_nodes = data.get("num_nodes")
         try:
             return cls(
                 name=str(data["name"]),
-                num_nodes=int(data["num_nodes"]),  # type: ignore[arg-type]
-                pool_size=int(data["pool_size"]),  # type: ignore[arg-type]
+                num_nodes=None if num_nodes is None else int(num_nodes),  # type: ignore[arg-type]
+                pool_size=data["pool_size"],  # type: ignore[arg-type]
                 trials=int(data["trials"]),  # type: ignore[arg-type]
-                ring_sizes=tuple(int(r) for r in data.get("ring_sizes", ())),  # type: ignore[union-attr]
-                curves=tuple((int(q), float(p)) for q, p in curves),
+                num_nodes_grid=data.get("num_nodes_grid", ()),  # type: ignore[arg-type]
+                ring_sizes=tuple(data.get("ring_sizes", ())),  # type: ignore[arg-type]
+                curves=tuple(curves),
                 metrics=metrics,
                 seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
                 channel=str(data.get("channel", "onoff")),

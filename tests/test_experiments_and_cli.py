@@ -234,6 +234,32 @@ class TestCli:
         with pytest.raises(ExperimentError, match="KEY=VALUE"):
             main(["run", "kstar", "--set", "oops"])
 
+    def test_all_applies_set_per_experiment(self, monkeypatch, capsys):
+        # `repro all --set` applies each override to the experiments
+        # that accept it and skips the rest with a stderr warning
+        # (kstar takes no Monte Carlo knobs).
+        import repro.cli as cli
+
+        specs = [get_experiment("kstar"), get_experiment("theorem1")]
+        monkeypatch.setattr(cli, "list_experiments", lambda: specs)
+        assert (
+            main(
+                [
+                    "all", "--workers", "1",
+                    "--set", "trials=2", "--set", "ks=[1]",
+                    "--set", "alphas=[2.0]", "--set", "num_nodes=100",
+                    "--set", "key_ring_size=40", "--set", "pool_size=2000",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "=== kstar" in captured.out
+        assert "=== theorem1" in captured.out
+        assert "limit law" in captured.out
+        assert "kstar does not accept --set trials" in captured.err
+        assert "theorem1 does not accept" not in captured.err
+
 
 class TestCliStudy:
     STUDY = {
@@ -273,6 +299,74 @@ class TestCliStudy:
         )
         saved = json.loads(save.read_text())
         assert saved["scenarios"][0]["scenario"]["trials"] == 2
+
+    def test_study_size_grid_file_end_to_end(self, tmp_path, capsys):
+        import json
+
+        study = {
+            "name": "cli_growth",
+            "num_nodes_grid": [60, 100],
+            "pool_size": 1500,
+            "ring_sizes": [[22], [25]],
+            "curves": [[[2, 1.0]], [[2, 0.8]]],
+            "metrics": [{"kind": "connectivity"}],
+            "trials": 3,
+            "seed": 5,
+        }
+        path = tmp_path / "growth.json"
+        path.write_text(json.dumps(study))
+        assert main(["study", str(path), "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cli_growth" in out and "n grid=[60, 100]" in out
+
+    def test_study_set_num_nodes_grid_replaces_num_nodes(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(self.STUDY))
+        assert (
+            main(
+                [
+                    "study", str(path), "--workers", "1",
+                    "--set", "num_nodes_grid=[60,100]",
+                    "--set", "trials=2",
+                ]
+            )
+            == 0
+        )
+        assert "n grid=[60, 100]" in capsys.readouterr().out
+
+    def test_study_set_num_nodes_on_grid_file_demands_axis_overrides(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        study = {
+            "name": "cli_growth",
+            "num_nodes_grid": [60, 100],
+            "pool_size": 1500,
+            "ring_sizes": [[22], [25]],
+            "curves": [[[2, 1.0]], [[2, 0.8]]],
+            "metrics": [{"kind": "connectivity"}],
+            "trials": 2,
+            "seed": 5,
+        }
+        path = tmp_path / "growth.json"
+        path.write_text(json.dumps(study))
+        with pytest.raises(ExperimentError, match="ring_sizes/curves"):
+            main(["study", str(path), "--workers", "1", "--set", "num_nodes=80"])
+        # Replacing the per-size axes alongside num_nodes works.
+        assert (
+            main(
+                [
+                    "study", str(path), "--workers", "1",
+                    "--set", "num_nodes=80", "--set", "ring_sizes=[22]",
+                    "--set", "curves=[[2, 1.0]]",
+                ]
+            )
+            == 0
+        )
+        assert "n=80" in capsys.readouterr().out
 
     def test_study_missing_file(self):
         with pytest.raises(ExperimentError, match="no such study file"):

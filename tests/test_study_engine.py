@@ -1,13 +1,18 @@
 """Execution engine satellites: trial-block splitting and warm pools.
 
 Pins the ``run_batches`` under-utilization fix (columns splitting into
-trial blocks when there are fewer K columns than workers) and the
-persistent-pool plumbing.
+trial blocks when there are fewer K columns than workers), the
+persistent-pool plumbing, and the ``_windowed`` scheduling fixes: no
+head-of-line blocking (completion order decoupled from result order)
+and no leaked futures when a batch raises.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
+import pytest
 
 from repro.simulation import pool
 from repro.simulation.sweep import SweepSpec, run_sweep_trials, split_trial_blocks
@@ -75,6 +80,18 @@ def _double(x: int) -> int:
     return 2 * x
 
 
+def _sleep_then_return(item):
+    index, delay = item
+    time.sleep(delay)
+    return index
+
+
+def _raise_on_negative(x: int) -> int:
+    if x < 0:
+        raise ValueError(f"poison batch {x}")
+    return 3 * x
+
+
 class TestPersistentPool:
     def test_executor_is_reused(self):
         if not pool.persistent_pools_enabled():  # pragma: no cover
@@ -109,3 +126,43 @@ class TestPersistentPool:
         again = pool.get_executor(2)
         assert pool.submit_batches(_double, [4], workers=2) == [8]
         assert pool.get_executor(2) is again
+
+
+class TestWindowScheduling:
+    def test_out_of_order_completion_yields_in_order_results(self):
+        # Adversarial completion order: the earliest batches are the
+        # slowest, so every later batch finishes first.  The old
+        # implementation blocked on the *oldest* pending future; the
+        # fixed window must still hand results back in submission
+        # order, bit-identical to a serial map.
+        batches = [(0, 0.30), (1, 0.15)] + [(i, 0.0) for i in range(2, 10)]
+        results = pool.submit_batches(_sleep_then_return, batches, workers=3)
+        assert results == [_sleep_then_return(b) for b in batches]
+        assert results == list(range(10))
+
+    def test_slow_head_does_not_gate_submissions(self):
+        # With the window waiting on FIRST_COMPLETED, one slow batch
+        # occupies one worker while the other two drain the eight fast
+        # batches: total wall clock stays near the slow batch alone.
+        # The old oldest-future window serialized roughly ceil(8/2)
+        # windows behind the sleeper.  Generous bound to stay un-flaky.
+        pool.get_executor(3)  # warm first so spawn cost is excluded
+        pool.submit_batches(_sleep_then_return, [(9, 0.0)], workers=3)
+        start = time.monotonic()
+        batches = [(0, 0.5)] + [(i, 0.0) for i in range(1, 9)]
+        results = pool.submit_batches(_sleep_then_return, batches, workers=3)
+        elapsed = time.monotonic() - start
+        assert results == list(range(9))
+        assert elapsed < 1.5
+
+    def test_raising_batch_propagates_and_pool_stays_usable(self):
+        if not pool.persistent_pools_enabled():  # pragma: no cover
+            return
+        batches = [1, 2, -1] + list(range(3, 12))
+        with pytest.raises(ValueError, match="poison batch"):
+            pool.submit_batches(_raise_on_negative, batches, workers=2)
+        # Pending futures were cancelled, not leaked: the warm pool
+        # immediately serves the next caller with correct results.
+        assert pool.submit_batches(_raise_on_negative, [5, 6, 7], workers=2) == [
+            15, 18, 21,
+        ]
