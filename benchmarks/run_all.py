@@ -6,19 +6,31 @@ Usage::
 
 Runs the performance-critical workloads with quick trial counts
 (``REPRO_TRIALS`` overrides) and writes per-bench wall times plus the
-headline speedups to ``BENCH_PR2.json`` so the perf trajectory is
+headline speedups to ``BENCH_PR4.json`` so the perf trajectory is
 tracked across PRs.
 
-PR 2 headline: the Scenario/Study compiler.  ``theorem1``,
-``mindegree``, and ``degree_poisson`` now ride the shared-deployment
-sweep (one ring sample + overlap count serving every ``(k, α)`` /
-``h`` post-filter, with exact monotone deduction across nested curves),
-and each is measured against its ``backend="legacy"`` per-point loop.
-The ``mindegree`` grid is benched twice: the sweep-bound ``ks=[1, 2]``
-grid (biconnectivity decisions; the common-random-numbers saving shows
-directly) and the full default ``ks=[1, 2, 3]`` grid, where the exact
-``k = 3`` Dinic scan — identical work on both backends — dominates and
-dilutes the ratio.
+PR 4 headline: adaptive trial allocation.  The zero-one law run at a
+0.02 transition-band CI target allocates trials per ``(n, K, α)``
+cell: the saturated 0/1 tails stop after their loose Wilson target,
+the transition band keeps extending in blocks until it is sharp.
+``zero_one_adaptive_trial_savings`` is total cell-trials of a
+fixed-trial design at the same worst-cell precision (every cell at
+``max_cell_trials``) over the adaptive spend — the acceptance
+criterion is >= 3x — and ``zero_one_adaptive_wall_speedup`` is the
+wall-clock ratio against actually running that fixed design.
+Determinism is not traded: the equivalence test in
+``tests/test_adaptive.py`` pins adaptive == one-shot bit-for-bit.
+
+PR 2 headline (still tracked): the Scenario/Study compiler.
+``theorem1``, ``mindegree``, and ``degree_poisson`` ride the
+shared-deployment sweep (one ring sample + overlap count serving every
+``(k, α)`` / ``h`` post-filter, with exact monotone deduction across
+nested curves), each measured against its ``backend="legacy"``
+per-point loop.  The ``mindegree`` grid is benched twice: the
+sweep-bound ``ks=[1, 2]`` grid (biconnectivity decisions; the
+common-random-numbers saving shows directly) and the full default
+``ks=[1, 2, 3]`` grid, where the exact ``k = 3`` Dinic scan —
+identical work on both backends — dominates and dilutes the ratio.
 """
 
 from __future__ import annotations
@@ -44,7 +56,7 @@ def _timed(fn: Callable[[], object], repeats: int = 2) -> float:
 def main(argv: List[str]) -> int:
     out_path = argv[1] if len(argv) > 1 else os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_PR2.json",
+        "BENCH_PR4.json",
     )
 
     import numpy as np
@@ -141,6 +153,65 @@ def main(argv: List[str]) -> int:
         "mindegree_full_grid", run_mindegree_equiv, trials, points=9
     )
 
+    # -- adaptive zero_one: CI-targeted trial allocation -----------------
+    # The PR 4 headline.  One adaptive run at the 0.02 transition-band
+    # target, then the fixed-trial design of equal worst-cell precision
+    # (every cell at max_cell_trials) actually executed for the wall
+    # comparison.  Workload: the zero-one growth sweep with tails at
+    # alpha = +-3, +-4 (converge within the first rounds under the 0.05
+    # tail target) and the transition band at alpha = +-1.5 (held to
+    # the strict 0.02 Wilson half-width).
+    from repro.experiments.zero_one import build_zero_one_study, run_zero_one
+
+    adaptive_kwargs = dict(
+        trials=100,
+        num_nodes_grid=(150, 300),
+        alpha_offsets=(-4.0, -3.0, -1.5, 1.5, 3.0, 4.0),
+        pool_size=3000,
+        workers=1,
+    )
+    start = time.perf_counter()
+    adaptive_result = run_zero_one(
+        backend="adaptive", ci_target=0.02, max_trials=4000, **adaptive_kwargs
+    )
+    adaptive_s = time.perf_counter() - start
+    allocation = dict(adaptive_result.config["adaptive"])
+    allocation.pop("rounds", None)
+    allocation.pop("policy", None)
+    fixed_trials = int(allocation["max_cell_trials"])
+    fixed_study = build_zero_one_study(
+        trials=fixed_trials,
+        num_nodes_grid=adaptive_kwargs["num_nodes_grid"],
+        alpha_offsets=adaptive_kwargs["alpha_offsets"],
+        pool_size=adaptive_kwargs["pool_size"],
+    )
+    fixed_s = _timed(lambda: fixed_study.run(workers=1), repeats=1)
+    benches.append(
+        {
+            "name": "zero_one_adaptive_ci0.02",
+            "wall_s": round(adaptive_s, 3),
+            "ci_target": 0.02,
+            "max_trials": 4000,
+            "config": {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in adaptive_kwargs.items()
+            },
+            "allocation": allocation,
+        }
+    )
+    benches.append(
+        {
+            "name": "zero_one_fixed_equal_precision",
+            "wall_s": round(fixed_s, 3),
+            "trials": fixed_trials,
+            "points": int(allocation["cells"]),
+        }
+    )
+    speedups["zero_one_adaptive_trial_savings"] = float(
+        allocation["savings_vs_fixed"]
+    )
+    speedups["zero_one_adaptive_wall_speedup"] = round(fixed_s / adaptive_s, 2)
+
     # -- connectivity kernel: vectorized vs Python union-find -----------
     edges = erdos_renyi_edges(1000, 0.008, seed=3)
     keys = edges[:, 0] * 1000 + edges[:, 1]
@@ -177,7 +248,7 @@ def main(argv: List[str]) -> int:
     speedups["connectivity_kernel_vs_python"] = round(py_s / vec_s, 2)
 
     report = {
-        "pr": 2,
+        "pr": 4,
         "generated_by": "benchmarks/run_all.py",
         "env": {
             "python": platform.python_version(),

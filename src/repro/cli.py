@@ -24,7 +24,14 @@ Subcommands
     the skip.
 ``repro study FILE.json [--workers N] [--set k=v ...] [--save PATH]``
     Run scenarios straight from JSON — one scenario object, a list, or
-    ``{"scenarios": [...]}`` — with no accompanying Python.  ``--set``
+    ``{"scenarios": [...]}`` — with no accompanying Python.  With
+    ``--target-ci HW`` the study runs *adaptively*: the declared
+    ``trials`` is the first round, and ``(size, K, curve)`` cells keep
+    extending in blocks (``--block-trials``, capped per cell at
+    ``--max-trials``, default 4000) until their Wilson half-width
+    (indicator metrics) or standard error (value metrics) reaches the
+    target — e.g. ``repro study FILE.json --target-ci 0.01
+    --max-trials 4000``.  ``--set``
     overrides a field on *every* scenario in the file (e.g. ``--set
     trials=50``, or ``--set "num_nodes_grid=[200,500,1000]"`` for a
     growth sweep; setting ``num_nodes_grid`` drops a conflicting
@@ -95,6 +102,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="path to a scenario/study JSON file")
     p.add_argument("--workers", type=int, default=None, help="process count")
     p.add_argument("--save", help="write the StudyResult JSON to this path")
+    p.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="HW",
+        help=(
+            "run adaptively: extend trials in blocks until every (size, K, "
+            "curve) cell's Wilson half-width (indicators) or standard error "
+            "(means) is at or below this target"
+        ),
+    )
+    p.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-cell trial cap for --target-ci runs (default 4000)",
+    )
+    p.add_argument(
+        "--block-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "trials added per adaptive round (default: the scenario's "
+            "declared trials, which is also the first round)"
+        ),
+    )
     p.add_argument(
         "--set",
         dest="overrides",
@@ -239,8 +274,31 @@ def _run_study_file(args: argparse.Namespace) -> int:
                         )
 
     study = Study.from_dict(data)
-    result = study.run(workers=args.workers)
+    if args.target_ci is not None:
+        from repro.study import AdaptivePolicy, run_adaptive_study
+
+        policy = AdaptivePolicy(
+            ci_target=args.target_ci,
+            max_trials=args.max_trials if args.max_trials is not None else 4000,
+            block_trials=args.block_trials,
+        )
+        result = run_adaptive_study(study, policy, workers=args.workers)
+    elif args.max_trials is not None or args.block_trials is not None:
+        raise ExperimentError(
+            "--max-trials/--block-trials configure adaptive runs; "
+            "pass --target-ci to enable one"
+        )
+    else:
+        result = study.run(workers=args.workers)
     print(render_study_result(result))
+    adaptive = result.provenance.get("adaptive")
+    if isinstance(adaptive, dict):
+        print(
+            f"\nadaptive: {len(adaptive['rounds'])} extension rounds, "
+            f"{adaptive['trials_spent']} cell-trials spent "
+            f"(max cell {adaptive['max_cell_trials']}, "
+            f"{adaptive['savings_vs_fixed']}x savings vs fixed-trial)"
+        )
     if args.save:
         result.save(args.save)
         print(f"\nsaved: {args.save}")

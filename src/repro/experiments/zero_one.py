@@ -16,6 +16,13 @@ clearing the largest α at each ``n``), and per-size curves (the
 spawn_key=(size_index, ring_index, trial))``, so estimates are
 bit-identical for any worker count; ``backend="legacy"`` keeps the
 independent per-point sampling as a cross-check.
+
+``backend="adaptive"`` rides :mod:`repro.study.adaptive`: the tails of
+the law (cells already resolved at/near 0 or 1) stop after a loose
+Wilson target, while transition-band cells keep extending in trial
+blocks until they reach ``ci_target`` — the trial budget concentrates
+exactly where the threshold is still being resolved, at the same
+deterministic per-trial seeds as a one-shot run.
 """
 
 from __future__ import annotations
@@ -92,6 +99,11 @@ def run_zero_one(
     seed: int = 20170607,
     workers: Optional[int] = None,
     backend: str = "study",
+    ci_target: float = 0.02,
+    max_trials: int = 4000,
+    block_trials: Optional[int] = None,
+    transition_band: Sequence[float] = (0.1, 0.9),
+    tail_ci_target: float = 0.05,
 ) -> ExperimentResult:
     """Estimate P[connected] at fixed ±α across growing ``n``.
 
@@ -104,21 +116,53 @@ def run_zero_one(
     independent sampling.  ``backend="legacy"`` re-estimates every
     ``(n, α)`` point with independent per-point sampling as a
     cross-check.
+
+    ``backend="adaptive"`` sharpens only the transition band: starting
+    from *trials* as the first round, cells are extended in blocks
+    until their Wilson half-width reaches ``ci_target`` — but cells
+    whose running estimate sits outside ``transition_band`` (the
+    saturated 0/1 tails, exactly where Theorem 1's claim is already
+    decided) are held only to the looser ``tail_ci_target``.  Trials
+    concentrate on the ``(n, α)`` points that still resolve the
+    threshold, and the spend is reported in the result config
+    (``config["adaptive"]``, see
+    :func:`repro.study.adaptive.trial_allocation`).
     """
-    if backend not in ("study", "legacy"):
-        raise ParameterError(f"unknown backend {backend!r}; use 'study' or 'legacy'")
+    if backend not in ("study", "legacy", "adaptive"):
+        raise ParameterError(
+            f"unknown backend {backend!r}; use 'study', 'legacy', or 'adaptive'"
+        )
     trials = trials if trials is not None else trials_from_env(80, full=500)
     study = build_zero_one_study(
         trials, num_nodes_grid, alpha_offsets, pool_size, q, seed
     )
     scenario = study.scenarios[0]
+    adaptive_summary: Optional[dict] = None
     if backend == "study":
         scenario_result = study.run(workers=workers)["zero_one"]
+    elif backend == "adaptive":
+        from repro.study.adaptive import AdaptivePolicy, run_adaptive_study
+
+        band = tuple(float(b) for b in transition_band)
+        if len(band) != 2:
+            raise ParameterError(
+                f"transition_band must be (low, high), got {transition_band!r}"
+            )
+        policy = AdaptivePolicy(
+            ci_target=ci_target,
+            max_trials=max_trials,
+            block_trials=block_trials,
+            indicator_band=band,
+            tail_ci_target=tail_ci_target,
+        )
+        study_result = run_adaptive_study(study, policy, workers=workers)
+        scenario_result = study_result["zero_one"]
+        adaptive_summary = dict(study_result.provenance["adaptive"])  # type: ignore[index,arg-type]
     points: List[CurvePoint] = []
     for si, n in enumerate(num_nodes_grid):
         ring = scenario.ring_sizes_at(si)[0]
         for alpha, (_, p) in zip(alpha_offsets, scenario.curves_at(si)):
-            if backend == "study":
+            if backend in ("study", "adaptive"):
                 estimate = scenario_result.bernoulli(
                     "connectivity", (q, p), ring, size=n
                 )
@@ -144,17 +188,20 @@ def run_zero_one(
                     prediction=limit_probability(alpha, 1),
                 )
             )
+    config = {
+        "trials": trials,
+        "num_nodes_grid": list(num_nodes_grid),
+        "alpha_offsets": list(alpha_offsets),
+        "pool_size": pool_size,
+        "q": q,
+        "seed": seed,
+        "backend": backend,
+    }
+    if adaptive_summary is not None:
+        config["adaptive"] = adaptive_summary
     return ExperimentResult(
         name="zero_one",
-        config={
-            "trials": trials,
-            "num_nodes_grid": list(num_nodes_grid),
-            "alpha_offsets": list(alpha_offsets),
-            "pool_size": pool_size,
-            "q": q,
-            "seed": seed,
-            "backend": backend,
-        },
+        config=config,
         points=points,
     )
 
@@ -168,15 +215,26 @@ def render_zero_one(result: ExperimentResult) -> str:
                 pt.point["alpha"],
                 int(pt.point["K"]),
                 pt.point["p"],
+                pt.estimate.trials,
                 pt.estimate.estimate,
                 pt.prediction,
             ]
         )
+    backend = result.config.get("backend", "study")
+    if backend == "adaptive":
+        alloc = result.config.get("adaptive", {})
+        trials_note = (
+            f"adaptive: ci_target={alloc.get('policy', {}).get('ci_target')}, "
+            f"spent={alloc.get('trials_spent')} cell-trials "
+            f"({alloc.get('savings_vs_fixed')}x vs fixed)"
+        )
+    else:
+        trials_note = f"trials={result.config['trials']}"
     return format_table(
-        ["n", "alpha", "K", "p", "empirical", "limit"],
+        ["n", "alpha", "K", "p", "trials", "empirical", "limit"],
         rows,
         title=(
             f"Zero-one law sharpening (q={result.config['q']}, "
-            f"P={result.config['pool_size']}, trials={result.config['trials']})"
+            f"P={result.config['pool_size']}, {trials_note})"
         ),
     )

@@ -8,7 +8,7 @@ from typing import Dict
 
 from repro.exceptions import SimulationError
 
-__all__ = ["BernoulliEstimate", "wilson_interval"]
+__all__ = ["BernoulliEstimate", "wilson_interval", "wilson_half_width"]
 
 
 def wilson_interval(
@@ -46,6 +46,20 @@ def wilson_interval(
     return (low, high)
 
 
+def wilson_half_width(successes: int, trials: int, z: float = 1.96) -> float:
+    """Half the Wilson interval width — the adaptive stopping statistic.
+
+    This is the resolution of the estimate: an adaptive driver extends
+    a cell until its half-width drops below the CI target.  Defined as
+    ``(high - low) / 2`` of the (endpoint-pinned) Wilson interval, so
+    the degenerate all-0/all-1 cells that dominate the zero-one tails
+    shrink like ``z^2 / (2 (n + z^2))`` instead of collapsing to zero
+    the way a Wald interval would.
+    """
+    low, high = wilson_interval(successes, trials, z)
+    return (high - low) / 2.0
+
+
 @dataclasses.dataclass(frozen=True)
 class BernoulliEstimate:
     """Empirical probability with a Wilson confidence interval."""
@@ -73,6 +87,11 @@ class BernoulliEstimate:
         """Plain binomial standard error of the point estimate."""
         p = self.estimate
         return math.sqrt(max(p * (1 - p), 0.0) / self.trials)
+
+    @property
+    def half_width(self) -> float:
+        """Half the confidence-interval width, ``(ci_high - ci_low) / 2``."""
+        return (self.ci_high - self.ci_low) / 2.0
 
     def contains(self, prob: float) -> bool:
         """Whether *prob* lies inside the confidence interval."""

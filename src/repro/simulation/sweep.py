@@ -174,6 +174,7 @@ def split_trial_blocks(
     trials: int,
     workers: int,
     total_columns: Optional[int] = None,
+    start: int = 0,
 ) -> List[Tuple[int, int, int]]:
     """Work units ``(column, start, stop)`` for a columns-by-trials grid.
 
@@ -185,14 +186,24 @@ def split_trial_blocks(
     flattens to one: the sweep engine passes ``K`` columns, the study
     compiler passes ``size x K`` columns of a size-grid group.
     ``total_columns`` overrides the divisor when the caller schedules
-    several column groups into one pool (the study compiler).  Block boundaries are a pure function of
-    ``(num_columns, trials, workers)``; they never affect results, only
+    several column groups into one pool (the study compiler).
+
+    ``start`` restricts the blocks to the trial window ``[start,
+    trials)`` — the incremental unit of adaptive trial extension.  An
+    empty window (``start >= trials``) yields no blocks, and a window
+    smaller than the would-be block count degrades to single-trial
+    blocks.  Block boundaries are a pure function of ``(num_columns,
+    trials, workers, start)``; they never affect results, only
     parallelism, because every ``(column, trial)`` cell is seeded
-    independently.
+    independently by its absolute trial index.
     """
+    if start < 0:
+        raise ParameterError(f"start must be >= 0, got {start}")
+    if start >= trials:
+        return []
     divisor = total_columns if total_columns is not None else num_columns
-    splits = min(trials, max(1, -(-workers // max(divisor, 1))))
-    bounds = np.linspace(0, trials, splits + 1, dtype=np.int64)
+    splits = min(trials - start, max(1, -(-workers // max(divisor, 1))))
+    bounds = np.linspace(start, trials, splits + 1, dtype=np.int64)
     return [
         (column, int(bounds[b]), int(bounds[b + 1]))
         for column in range(num_columns)

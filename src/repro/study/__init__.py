@@ -34,8 +34,21 @@ runs on the persistent warm worker pool
 
 New workloads need zero new Python: write a scenario (or list of
 scenarios) as JSON and run ``repro study FILE.json``.
+
+Results are *mergeable*: a :class:`ScenarioResult` may cover a window
+of the trial axis (``trial_offset``), :meth:`Study.run_extension`
+emits those windows from arbitrary starting trial indices, and
+:mod:`repro.study.adaptive` drives extension rounds until every
+``(size, K, curve)`` cell meets a CI target — ``repro study FILE.json
+--target-ci 0.02`` spends trials where the estimates are still loose
+instead of everywhere.
 """
 
+from repro.study.adaptive import (
+    AdaptivePolicy,
+    run_adaptive_study,
+    trial_allocation,
+)
 from repro.study.compiler import Study, run_scenario
 from repro.study.result import ScenarioResult, StudyResult, render_study_result
 from repro.study.scenario import (
@@ -46,12 +59,15 @@ from repro.study.scenario import (
 )
 
 __all__ = [
+    "AdaptivePolicy",
     "CHANNEL_KINDS",
     "METRIC_KINDS",
     "MetricSpec",
     "Scenario",
     "Study",
+    "run_adaptive_study",
     "run_scenario",
+    "trial_allocation",
     "ScenarioResult",
     "StudyResult",
     "render_study_result",

@@ -21,6 +21,13 @@ addressed by ``(size_index, ring_index, trial)`` for sized groups and
 *assigned* (never reduced across blocks), results are bit-identical
 for any worker count and any block layout.
 
+:meth:`Study.run_extension` emits the same work units from an
+arbitrary starting trial index — the incremental rounds of adaptive
+trial allocation (:mod:`repro.study.adaptive`) and the shard unit of
+multi-host execution.  Extension shards merge into accumulated results
+via :meth:`~repro.study.result.ScenarioResult.merge`, bit-for-bit
+equal to a one-shot run at the total trial count.
+
 Protocol scenarios run through the ordinary per-trial engine with the
 same determinism contract.
 """
@@ -46,7 +53,7 @@ from repro.study.result import ScenarioResult, StudyResult
 from repro.study.scenario import Scenario
 from repro.utils.rng import grid_seed_sequence
 
-__all__ = ["Study", "GroupPlan", "run_scenario"]
+__all__ = ["Study", "GroupPlan", "ActiveMap", "run_scenario"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -133,14 +140,36 @@ def _plan_group(scenarios: Sequence[Scenario]) -> GroupPlan:
     )
 
 
+#: Per-column curve activity: ``(group, size, ring) -> `` one tuple of
+#: active curve indices per member scenario (in plan order).  ``None``
+#: means every curve of every scenario.
+ActiveMap = Dict[Tuple[int, int, int], Tuple[Tuple[int, ...], ...]]
+
+
 def _group_block(
-    plans: Tuple[GroupPlan, ...], block: Tuple[int, int, int, int, int]
+    plans: Tuple[GroupPlan, ...],
+    active: Optional[ActiveMap],
+    block: Tuple[int, int, int, int, int],
 ) -> np.ndarray:
-    """Trials ``[start, stop)`` of one (group, size, K-column); all columns."""
+    """Trials ``[start, stop)`` of one (group, size, K-column); all columns.
+
+    ``trial`` indices are absolute — the deployment seed is always
+    ``(size_index, ring_index, trial)`` (or ``(ring_index, trial)`` for
+    plain groups) no matter which window the block belongs to, so an
+    extension round samples exactly the worlds a one-shot run at the
+    larger trial count would have.  With an *active* map, only the
+    listed curves of each scenario are evaluated; the other cells hold
+    ``NaN``.  Skipping cells never changes evaluated values: the
+    deployment is sampled identically (one rng draw order, fixed by the
+    plan's channel/capture needs and ``q_min``), and the monotone
+    lattice deduction is exact, so each cell's value is independent of
+    which other cells were computed.
+    """
     group_index, size_index, ring_index, start, stop = block
     plan = plans[group_index]
     ring = plan.ring_grid[size_index][ring_index]
     out = np.empty((stop - start, plan.num_columns), dtype=np.float64)
+    curve_sel = None if active is None else active[(group_index, size_index, ring_index)]
     for row, trial in enumerate(range(start, stop)):
         if plan.sized:
             seed_seq = grid_seed_sequence(plan.seed, size_index, ring_index, trial)
@@ -160,14 +189,60 @@ def _group_block(
         evaluator = DeploymentEvaluator(dep)
         ledgers: Dict = {}  # shared deduction state across member scenarios
         col = 0
-        for scenario in plan.scenarios:
-            values = evaluate_scenario(
-                evaluator, scenario, ledgers, curves=scenario.curves_at(size_index)
-            )
-            width = values.size
+        for sc_index, scenario in enumerate(plan.scenarios):
+            curves = scenario.curves_at(size_index)
+            width = len(curves) * len(scenario.metrics)
+            if curve_sel is None:
+                values = evaluate_scenario(evaluator, scenario, ledgers, curves=curves)
+            else:
+                chosen = curve_sel[sc_index]
+                values = np.full((len(curves), len(scenario.metrics)), np.nan)
+                if chosen:
+                    values[list(chosen), :] = evaluate_scenario(
+                        evaluator,
+                        scenario,
+                        ledgers,
+                        curves=tuple(curves[ci] for ci in chosen),
+                    )
             out[row, col : col + width] = values.reshape(-1)
             col += width
     return out
+
+
+def _slice_scenario_results(
+    plans: Tuple[GroupPlan, ...],
+    tensors: Sequence[np.ndarray],
+    trial_offset: int,
+    trials: Optional[int] = None,
+) -> Dict[str, ScenarioResult]:
+    """Slice each scenario's columns out of its group tensor.
+
+    *trials* overrides the scenario's declared trial count in the
+    embedded scenario (extension shards cover a window, not the full
+    axis); the tensors' trial extent must match it.
+    """
+    by_name: Dict[str, ScenarioResult] = {}
+    for plan, tensor in zip(plans, tensors):
+        span = plan.trials if trials is None else trials
+        for scenario, offset in zip(plan.scenarios, plan.column_offsets()):
+            width = scenario.num_curves * len(scenario.metrics)
+            values = tensor[:, :, :, offset : offset + width].reshape(
+                plan.num_sizes,
+                plan.num_rings,
+                span,
+                scenario.num_curves,
+                len(scenario.metrics),
+            )
+            if not scenario.sized:
+                values = values[0]
+            embedded = scenario if trials is None else scenario.with_trials(span)
+            by_name[scenario.name] = ScenarioResult(
+                scenario=embedded,
+                values=np.ascontiguousarray(values),
+                metric_labels=scenario.metric_labels(),
+                trial_offset=trial_offset,
+            )
+    return by_name
 
 
 def _run_protocol(scenario: Scenario, workers: Optional[int]) -> ScenarioResult:
@@ -231,7 +306,7 @@ class Study:
                 )
 
         block_values = run_batches(
-            functools.partial(_group_block, plans), blocks, effective
+            functools.partial(_group_block, plans, None), blocks, effective
         )
 
         # Assemble the per-group value tensors (sizes, rings, trials, columns).
@@ -242,25 +317,7 @@ class Study:
         for (gi, si, ri, start, stop), values in zip(blocks, block_values):
             tensors[gi][si, ri, start:stop, :] = values
 
-        # Slice each scenario's columns back out, in study order.
-        by_name: Dict[str, ScenarioResult] = {}
-        for plan, tensor in zip(plans, tensors):
-            for scenario, offset in zip(plan.scenarios, plan.column_offsets()):
-                width = scenario.num_curves * len(scenario.metrics)
-                values = tensor[:, :, :, offset : offset + width].reshape(
-                    plan.num_sizes,
-                    plan.num_rings,
-                    plan.trials,
-                    scenario.num_curves,
-                    len(scenario.metrics),
-                )
-                if not scenario.sized:
-                    values = values[0]
-                by_name[scenario.name] = ScenarioResult(
-                    scenario=scenario,
-                    values=np.ascontiguousarray(values),
-                    metric_labels=scenario.metric_labels(),
-                )
+        by_name = _slice_scenario_results(plans, tensors, trial_offset=0)
 
         for scenario in self.scenarios:
             if scenario.kind == "protocol":
@@ -273,6 +330,111 @@ class Study:
             "deployments": int(
                 sum(p.num_sizes * p.num_rings * p.trials for p in plans)
             ),
+        }
+        return StudyResult(
+            results=tuple(by_name[s.name] for s in self.scenarios),
+            provenance=provenance,
+        )
+
+    def run_extension(
+        self,
+        trial_start: int,
+        trial_stop: int,
+        active: Optional[ActiveMap] = None,
+        workers: Optional[int] = None,
+    ) -> StudyResult:
+        """Run only trials ``[trial_start, trial_stop)`` of every group.
+
+        The incremental work-unit emitter behind adaptive allocation
+        and sharded execution: blocks carry *absolute* trial indices
+        into the established ``(size_index, ring_index, trial)``
+        SeedSequence addressing, so extending a result from ``t`` to
+        ``t'`` trials and merging
+        (:meth:`~repro.study.result.ScenarioResult.merge`) is
+        bit-for-bit identical to a one-shot run at ``t'`` trials.
+
+        *active* optionally restricts work per ``(group, size,
+        K-column)``: a missing key (or all-empty curve tuples) skips
+        the column's deployments entirely, and listed-but-partial
+        curve tuples evaluate only those curves (the rest of the
+        column's cells hold ``NaN``).  The returned shard's scenarios
+        carry ``trials == trial_stop - trial_start`` and its results
+        ``trial_offset == trial_start``.
+        """
+        for scenario in self.scenarios:
+            if scenario.kind == "protocol":
+                raise ParameterError(
+                    f"trial extension supports sweep scenarios only; "
+                    f"{scenario.name!r} is a protocol scenario"
+                )
+        if trial_start < 0:
+            raise ParameterError(f"trial_start must be >= 0, got {trial_start}")
+        if trial_stop <= trial_start:
+            raise ParameterError(
+                f"empty extension window [{trial_start}, {trial_stop}); "
+                "trial_stop must exceed trial_start"
+            )
+        effective = default_workers() if workers is None else max(1, int(workers))
+        plans = tuple(self.compile())
+        span = trial_stop - trial_start
+
+        scheduled: List[Tuple[int, int, int]] = []
+        for gi, plan in enumerate(plans):
+            for si in range(plan.num_sizes):
+                for ri in range(plan.num_rings):
+                    key = (gi, si, ri)
+                    if active is None:
+                        scheduled.append(key)
+                        continue
+                    sel = active.get(key)
+                    if sel is None or not any(sel):
+                        continue
+                    if len(sel) != len(plan.scenarios):
+                        raise ParameterError(
+                            f"active[{key}] must list curve indices for all "
+                            f"{len(plan.scenarios)} member scenarios, got {len(sel)}"
+                        )
+                    for scenario, chosen in zip(plan.scenarios, sel):
+                        valid = range(len(scenario.curves_at(si)))
+                        bad = [ci for ci in chosen if ci not in valid]
+                        if bad:
+                            raise ParameterError(
+                                f"active[{key}] curve indices {bad} out of "
+                                f"range for scenario {scenario.name!r}"
+                            )
+                    scheduled.append(key)
+
+        spans = [
+            (start, stop)
+            for _, start, stop in split_trial_blocks(
+                1, trial_stop, effective, max(len(scheduled), 1), start=trial_start
+            )
+        ]
+        blocks: List[Tuple[int, int, int, int, int]] = [
+            (gi, si, ri, start, stop)
+            for gi, si, ri in scheduled
+            for start, stop in spans
+        ]
+
+        block_values = run_batches(
+            functools.partial(_group_block, plans, active), blocks, effective
+        )
+
+        tensors = [
+            np.full((p.num_sizes, p.num_rings, span, p.num_columns), np.nan)
+            for p in plans
+        ]
+        for (gi, si, ri, start, stop), values in zip(blocks, block_values):
+            tensors[gi][si, ri, start - trial_start : stop - trial_start, :] = values
+
+        by_name = _slice_scenario_results(
+            plans, tensors, trial_offset=trial_start, trials=span
+        )
+        provenance: Dict[str, object] = {
+            "engine": "study/v1",
+            "workers": effective,
+            "trial_window": [trial_start, trial_stop],
+            "deployments": int(len(scheduled) * span),
         }
         return StudyResult(
             results=tuple(by_name[s.name] for s in self.scenarios),

@@ -16,6 +16,21 @@ inspecting the measured values: a value metric that happens to be
 pinned at 0/1 (e.g. ``giant_fraction`` at saturating ``p``) is still a
 value metric and renders as mean ± std.  Protocol results carry no
 metric specs, so their values fall back to the 0/1 check.
+
+Partial results and merging
+---------------------------
+A :class:`ScenarioResult` may cover only a *window* of a scenario's
+trial axis: ``trial_offset`` records the absolute index of its first
+trial, and :meth:`ScenarioResult.merge` concatenates two adjacent
+windows (rejecting mismatched scenarios, overlapping ranges, gaps, and
+incompatible axis shapes).  Because every ``(size, ring, trial)`` cell
+is seeded by its absolute trial index and values are assign-only, a
+merge of windows ``[0, b)`` and ``[b, t)`` is bit-for-bit the tensor a
+one-shot run at ``t`` trials produces — the substrate both the adaptive
+driver (:mod:`repro.study.adaptive`) and sharded multi-host execution
+build on.  Cells that a shard did not evaluate hold ``NaN``; the
+estimator accessors skip them, so per-cell trial counts may be ragged
+(the adaptive driver stops extending converged cells).
 """
 
 from __future__ import annotations
@@ -45,11 +60,19 @@ class ScenarioResult:
     ``values[s, r, t, c, m]`` for deployment ``(num_nodes_grid[s],
     ring s/r, trial t)``.  Protocol scenarios use a single pseudo-ring
     and pseudo-curve with one column per protocol value.
+
+    ``trial_offset`` is the absolute trial index of the tensor's first
+    trial slot: a full run has offset 0; an extension shard produced by
+    :meth:`~repro.study.compiler.Study.run_extension` covering trials
+    ``[a, b)`` has offset ``a`` (and ``scenario.trials == b - a``).
+    ``NaN`` entries mark cells a shard did not evaluate; estimator
+    accessors skip them.
     """
 
     scenario: Scenario
     values: np.ndarray
     metric_labels: Tuple[str, ...]
+    trial_offset: int = 0
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values, dtype=np.float64)
@@ -64,6 +87,90 @@ class ScenarioResult:
             raise ExperimentError(
                 f"values must have shape {shape}, got {values.shape}"
             )
+        if not isinstance(self.trial_offset, int) or isinstance(
+            self.trial_offset, bool
+        ) or self.trial_offset < 0:
+            raise ExperimentError(
+                f"trial_offset must be a non-negative int, got {self.trial_offset!r}"
+            )
+
+    # -- trial window --------------------------------------------------
+
+    @property
+    def num_trials(self) -> int:
+        """Length of the trial axis (slots, including unevaluated NaNs)."""
+        return int(self.values.shape[-3])
+
+    @property
+    def trial_range(self) -> Tuple[int, int]:
+        """Absolute trial window ``[start, stop)`` this result covers."""
+        return (self.trial_offset, self.trial_offset + self.num_trials)
+
+    # -- merging -------------------------------------------------------
+
+    def merge(self, other: "ScenarioResult") -> "ScenarioResult":
+        """Concatenate an adjacent trial window of the same scenario.
+
+        The two results must describe the same scenario (every field
+        except ``trials`` equal — same axes, curves, metrics, channel,
+        and seed, so their deployments come from the same deterministic
+        stream) and cover abutting trial ranges in either order.
+        Overlaps and gaps are rejected: values are assign-only, so an
+        overlap would mean the same ``(cell, trial)`` was computed
+        twice (a scheduling bug), and a gap would silently misalign
+        absolute trial indices against their seeds.
+        """
+        if not isinstance(other, ScenarioResult):
+            raise ExperimentError(
+                f"can only merge ScenarioResult, got {type(other).__name__}"
+            )
+        diffs = [
+            field.name
+            for field in dataclasses.fields(Scenario)
+            if field.name != "trials"
+            and getattr(self.scenario, field.name)
+            != getattr(other.scenario, field.name)
+        ]
+        if diffs:
+            raise ExperimentError(
+                f"cannot merge results of mismatched scenarios "
+                f"{self.scenario.name!r} / {other.scenario.name!r}: "
+                f"fields {diffs} differ"
+            )
+        if self.metric_labels != other.metric_labels:
+            raise ExperimentError(
+                f"cannot merge: metric labels differ "
+                f"({self.metric_labels} vs {other.metric_labels})"
+            )
+        mine = self.values.shape[:-3] + self.values.shape[-2:]
+        theirs = other.values.shape[:-3] + other.values.shape[-2:]
+        if mine != theirs:
+            raise ExperimentError(
+                f"cannot merge: axis shapes differ outside the trial axis "
+                f"({self.values.shape} vs {other.values.shape})"
+            )
+        first, second = (
+            (self, other) if self.trial_offset <= other.trial_offset else (other, self)
+        )
+        end = first.trial_offset + first.num_trials
+        if second.trial_offset < end:
+            raise ExperimentError(
+                f"cannot merge overlapping trial ranges {first.trial_range} "
+                f"and {second.trial_range} of scenario {self.scenario.name!r}"
+            )
+        if second.trial_offset > end:
+            raise ExperimentError(
+                f"cannot merge non-adjacent trial ranges {first.trial_range} "
+                f"and {second.trial_range} of scenario {self.scenario.name!r} "
+                f"(gap of {second.trial_offset - end} trials)"
+            )
+        total = first.num_trials + second.num_trials
+        return ScenarioResult(
+            scenario=self.scenario.with_trials(total),
+            values=np.concatenate((first.values, second.values), axis=-3),
+            metric_labels=self.metric_labels,
+            trial_offset=first.trial_offset,
+        )
 
     # -- index helpers -------------------------------------------------
 
@@ -144,6 +251,27 @@ class ScenarioResult:
 
     # -- estimators ----------------------------------------------------
 
+    def _cell(
+        self, size_index: int, ring_index: int, curve_index: int, metric_index: int
+    ) -> np.ndarray:
+        """Raw per-trial slot values of one cell (NaNs included)."""
+        cell = (ring_index, slice(None), curve_index, metric_index)
+        if self.scenario.sized:
+            return self.values[(size_index,) + cell]
+        return self.values[cell]
+
+    def series_at(
+        self, size_index: int, ring_index: int, curve_index: int, metric_index: int
+    ) -> np.ndarray:
+        """Index-addressed evaluated values of one cell (NaNs dropped).
+
+        The positional sibling of :meth:`series`, used by drivers that
+        iterate the axes directly (the adaptive stopping rule).
+        """
+        series = self._cell(size_index, ring_index, curve_index, metric_index)
+        mask = np.isnan(series)
+        return series[~mask] if mask.any() else series
+
     def series(
         self,
         metric: Optional[str] = None,
@@ -156,17 +284,27 @@ class ScenarioResult:
         *size* is the network's node count (an entry of
         ``num_nodes_grid``); it may be omitted for plain scenarios and
         one-size grids, like *ring* and *curve* for one-entry axes.
+        Trial slots the result never evaluated (``NaN`` — converged
+        cells an adaptive run stopped extending) are dropped, so the
+        returned length is the cell's actual sample size.
         """
         si = self._size_index(size)
-        cell = (
+        return self.series_at(
+            si,
             self._ring_index(ring, si),
-            slice(None),
             self._curve_index(curve, si),
             self._metric_index(metric),
         )
-        if self.scenario.sized:
-            return self.values[(si,) + cell]
-        return self.values[cell]
+
+    def cell_trials(
+        self,
+        metric: Optional[str] = None,
+        curve: Optional[Curve] = None,
+        ring: Optional[int] = None,
+        size: Optional[int] = None,
+    ) -> int:
+        """Evaluated trial count of one cell (its actual sample size)."""
+        return int(self.series(metric, curve, ring, size).size)
 
     def successes(
         self,
@@ -186,6 +324,12 @@ class ScenarioResult:
     ) -> BernoulliEstimate:
         """Wilson-interval estimate of an indicator metric."""
         series = self.series(metric, curve, ring, size)
+        if series.size == 0:
+            raise ExperimentError(
+                f"cell has no evaluated trials for metric {metric!r} "
+                f"(skipped in this shard? merge shards first, or check "
+                f"cell_trials())"
+            )
         if not self._metric_is_indicator(self._metric_index(metric), series):
             raise ExperimentError(
                 f"metric {metric!r} is not an indicator; use series()/mean()"
@@ -199,7 +343,14 @@ class ScenarioResult:
         ring: Optional[int] = None,
         size: Optional[int] = None,
     ) -> float:
-        return float(self.series(metric, curve, ring, size).mean())
+        series = self.series(metric, curve, ring, size)
+        if series.size == 0:
+            raise ExperimentError(
+                f"cell has no evaluated trials for metric {metric!r} "
+                f"(skipped in this shard? merge shards first, or check "
+                f"cell_trials())"
+            )
+        return float(series.mean())
 
     def agreement(
         self,
@@ -212,18 +363,39 @@ class ScenarioResult:
         """Fraction of deployments where two metrics coincide.
 
         Meaningful because both metrics were measured on the *same*
-        sampled worlds — the common-random-numbers payoff.
+        sampled worlds — the common-random-numbers payoff.  Only trials
+        where both metrics were evaluated enter the rate.
         """
-        a = self.series(metric_a, curve, ring, size)
-        b = self.series(metric_b, curve, ring, size)
-        return float((a == b).mean())
+        si = self._size_index(size)
+        ri = self._ring_index(ring, si)
+        ci = self._curve_index(curve, si)
+        a = self._cell(si, ri, ci, self._metric_index(metric_a))
+        b = self._cell(si, ri, ci, self._metric_index(metric_b))
+        valid = ~(np.isnan(a) | np.isnan(b))
+        if not valid.any():
+            raise ExperimentError(
+                f"no trials evaluated both {metric_a!r} and {metric_b!r} in "
+                f"this cell (skipped in this shard? merge shards first)"
+            )
+        return float((a[valid] == b[valid]).mean())
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        # Unevaluated slots serialize as null, not NaN: shard JSONs are
+        # the multi-host interchange format, and bare NaN tokens are
+        # invalid under RFC 8259 (jq / JSON.parse reject them).
+        # ``from_dict``'s float64 coercion maps null back to NaN.
+        nan_mask = np.isnan(self.values)
+        values = (
+            np.where(nan_mask, None, self.values) if nan_mask.any() else self.values
+        )
+        out: Dict[str, object] = {
             "scenario": self.scenario.to_dict(),
             "metric_labels": list(self.metric_labels),
-            "values": self.values.tolist(),
+            "values": values.tolist(),
         }
+        if self.trial_offset:
+            out["trial_offset"] = self.trial_offset
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
@@ -231,6 +403,7 @@ class ScenarioResult:
             scenario=Scenario.from_dict(data["scenario"]),  # type: ignore[arg-type]
             values=np.asarray(data["values"], dtype=np.float64),
             metric_labels=tuple(data["metric_labels"]),  # type: ignore[arg-type]
+            trial_offset=int(data.get("trial_offset", 0)),  # type: ignore[arg-type]
         )
 
 
@@ -250,6 +423,31 @@ class StudyResult:
 
     def names(self) -> List[str]:
         return [r.scenario.name for r in self.results]
+
+    def merge(self, other: "StudyResult") -> "StudyResult":
+        """Merge two partial study results scenario-by-scenario.
+
+        Both results must cover the same scenarios (matched by name, in
+        any order); each pair merges per
+        :meth:`ScenarioResult.merge`, with its adjacency and
+        compatibility validation.  This is the shard-combination step
+        of adaptive extension rounds and of sharded multi-host
+        execution: run disjoint trial windows anywhere, merge in trial
+        order.  Additive provenance (deployment counts) is summed; the
+        rest is taken from ``self``.
+        """
+        if sorted(self.names()) != sorted(other.names()):
+            raise ExperimentError(
+                f"cannot merge study results over different scenario sets: "
+                f"{sorted(self.names())} vs {sorted(other.names())}"
+            )
+        merged = tuple(res.merge(other[res.scenario.name]) for res in self.results)
+        provenance = dict(self.provenance)
+        if "deployments" in provenance and "deployments" in other.provenance:
+            provenance["deployments"] = int(provenance["deployments"]) + int(
+                other.provenance["deployments"]  # type: ignore[arg-type]
+            )
+        return StudyResult(results=merged, provenance=provenance)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -278,9 +476,11 @@ def render_study_result(result: StudyResult) -> str:
     Indicator metrics (per their :class:`MetricSpec`) get Wilson
     intervals; value metrics get mean ± sample std even when their
     measured values happen to be all 0/1.  Size-grid scenarios emit one
-    row per ``(n, K, curve, metric)`` cell.  This is the output of
-    ``repro study FILE.json`` for ad-hoc scenario files that have no
-    bespoke renderer.
+    row per ``(n, K, curve, metric)`` cell.  Per-cell trial counts are
+    shown explicitly because adaptive results are ragged: converged
+    cells stop accumulating trials while unconverged neighbors keep
+    going.  This is the output of ``repro study FILE.json`` for ad-hoc
+    scenario files that have no bespoke renderer.
     """
     blocks: List[str] = []
     for res in result.results:
@@ -292,22 +492,22 @@ def render_study_result(result: StudyResult) -> str:
             for ri, ring in enumerate(rings):
                 for ci, (q, p) in enumerate(curves):
                     for mi, label in enumerate(res.metric_labels):
-                        if sc.sized:
-                            series = res.values[si, ri, :, ci, mi]
-                        else:
-                            series = res.values[ri, :, ci, mi]
-                        if res._metric_is_indicator(mi, series):
+                        series = res.series_at(si, ri, ci, mi)
+                        if series.size == 0:
+                            rows.append([n, ring, q, p, label, 0, "-", "-", "-"])
+                        elif res._metric_is_indicator(mi, series):
                             est = BernoulliEstimate.from_counts(
                                 int(series.sum()), series.size
                             )
                             rows.append(
-                                [n, ring, q, p, label,
+                                [n, ring, q, p, label, series.size,
                                  est.estimate, est.ci_low, est.ci_high]
                             )
                         else:
                             std = float(series.std(ddof=1)) if series.size > 1 else 0.0
                             rows.append(
-                                [n, ring, q, p, label, float(series.mean()), std, ""]
+                                [n, ring, q, p, label, series.size,
+                                 float(series.mean()), std, ""]
                             )
         if sc.sized:
             sizing = f"n grid={list(sc.num_nodes_grid)}"
@@ -319,7 +519,8 @@ def render_study_result(result: StudyResult) -> str:
         )
         blocks.append(
             format_table(
-                ["n", "K", "q", "p", "metric", "estimate", "ci_low/std", "ci_high"],
+                ["n", "K", "q", "p", "metric", "trials",
+                 "estimate", "ci_low/std", "ci_high"],
                 rows,
                 title=title,
             )

@@ -533,6 +533,18 @@ class Scenario:
             )
         return (self.num_nodes, self.pool_size, self.ring_sizes, self.trials, self.seed)
 
+    def with_trials(self, trials: int) -> "Scenario":
+        """This scenario with a different trial count, all else equal.
+
+        The trial axis is the one axis results may legally differ on
+        while still describing "the same experiment": extension shards
+        cover a window of it, and merged results cover the union.
+        Every other field participates in
+        :meth:`~repro.study.result.ScenarioResult.merge` compatibility
+        checking.  Revalidates on construction like any scenario.
+        """
+        return dataclasses.replace(self, trials=trials)
+
     @property
     def needs_capture(self) -> bool:
         return any(m.needs_capture for m in self.metrics)

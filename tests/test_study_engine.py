@@ -62,6 +62,52 @@ class TestSplitTrialBlocks:
         # split even though 1 < 4.
         assert split_trial_blocks(1, 10, 4, total_columns=4) == [(0, 0, 10)]
 
+    def test_nonzero_start_restricts_to_extension_window(self):
+        # Adaptive rounds split only [start, trials); boundaries stay a
+        # pure function of the arguments.
+        assert split_trial_blocks(1, 20, 4, start=10) == [
+            (0, 10, 12),
+            (0, 12, 15),
+            (0, 15, 17),
+            (0, 17, 20),
+        ]
+        # start=0 is exactly the historical layout
+        assert split_trial_blocks(1, 10, 4, start=0) == split_trial_blocks(1, 10, 4)
+
+    def test_empty_extension_yields_no_blocks(self):
+        assert split_trial_blocks(3, 10, 4, start=10) == []
+        assert split_trial_blocks(3, 10, 4, start=15) == []
+
+    def test_single_trial_extension_block(self):
+        assert split_trial_blocks(2, 10, 8, start=9) == [(0, 9, 10), (1, 9, 10)]
+
+    def test_block_count_larger_than_remainder_degrades_to_single_trials(self):
+        # 16 workers want 16 blocks, but only 3 trials remain: the
+        # window degrades to 3 single-trial blocks, never empty ones.
+        blocks = split_trial_blocks(1, 10, 16, start=7)
+        assert blocks == [(0, 7, 8), (0, 8, 9), (0, 9, 10)]
+
+    def test_negative_start_rejected(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError, match="start"):
+            split_trial_blocks(1, 10, 4, start=-1)
+
+    def test_offset_blocks_partition_extension_window(self):
+        for start in (0, 1, 5, 23, 24):
+            for workers in (1, 4, 40):
+                blocks = split_trial_blocks(2, 24, workers, start=start)
+                if start >= 24:
+                    assert blocks == []
+                    continue
+                for column in range(2):
+                    spans = [(a, b) for c, a, b in blocks if c == column]
+                    assert spans[0][0] == start
+                    assert spans[-1][1] == 24
+                    for (_, stop_a), (start_b, _) in zip(spans, spans[1:]):
+                        assert stop_a == start_b
+                    assert all(a < b for a, b in spans)
+
     def test_single_column_sweep_splits_and_stays_bit_exact(self):
         spec = SweepSpec(
             num_nodes=80,
