@@ -28,3 +28,28 @@ def run_once(benchmark, fn, *args, **kwargs):
     return benchmark.pedantic(
         fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
     )
+
+
+def kconn_fixture(dense: bool = False):
+    """The shared k-connectivity bench fixture: ``(num_nodes, edges)``.
+
+    One key-ring deployment at the mindegree bench scale (n = 300,
+    K = 80, P = 10000, q = 2).  ``dense=False`` thins the channel near
+    the k = 3 threshold (the graph the mindegree grid actually
+    decides); ``dense=True`` keeps the channel fully on (~7x the
+    certificate bound — the regime the Nagamochi–Ibaraki pass exists
+    for).  Used by both ``test_bench_kernels.py`` and ``run_all.py``
+    so the pytest-benchmark numbers and the BENCH JSON describe the
+    same workload.
+    """
+    import numpy as np
+
+    from repro.core.scaling import channel_prob_for_alpha
+    from repro.keygraphs.uniform_graph import uniform_intersection_edges
+
+    n, ring, pool, q = 300, 80, 10000, 2
+    edges = uniform_intersection_edges(n, ring, pool, q, seed=9)
+    if not dense:
+        p = channel_prob_for_alpha(n, ring, pool, q, 1.5, 3)
+        edges = edges[np.random.default_rng(5).random(edges.shape[0]) < p]
+    return n, edges

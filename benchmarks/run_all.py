@@ -2,45 +2,60 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [output.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 
 Runs the performance-critical workloads with quick trial counts
 (``REPRO_TRIALS`` overrides) and writes per-bench wall times plus the
-headline speedups to ``BENCH_PR4.json`` so the perf trajectory is
-tracked across PRs.
+headline speedups to ``--output`` (default ``BENCH_PR5.json``) so the
+perf trajectory is tracked across PRs.  The active kernel backend and
+the numba version (or ``null``) are stamped into the result's ``env``
+block, so a report is always attributable to the backend that
+produced it.
 
-PR 4 headline: adaptive trial allocation.  The zero-one law run at a
-0.02 transition-band CI target allocates trials per ``(n, K, α)``
-cell: the saturated 0/1 tails stop after their loose Wilson target,
-the transition band keeps extending in blocks until it is sharp.
+PR 5 headline: the kernel-backend layer and the Nagamochi–Ibaraki
+sparse certificate.  The exact k-connectivity decision now runs as an
+ISAP scan with shared sink-rooted labels on the certificate subgraph
+(``kconn_decision_per_s`` tracks decisions per second on the
+mindegree-scale fixture; ``kconn_certificate_vs_plain`` the
+certificate's own contribution), which un-dilutes the
+``mindegree_full_grid`` ratio: the exact ``k = 3`` decisions no longer
+dominate, so the shared-deployment saving shows on the full grid too
+(acceptance: >= 2x over legacy; the sweep-bound ``ks=[1, 2]`` grid is
+tracked unchanged).
+
+PR 4 headline (still tracked): adaptive trial allocation.
 ``zero_one_adaptive_trial_savings`` is total cell-trials of a
-fixed-trial design at the same worst-cell precision (every cell at
-``max_cell_trials``) over the adaptive spend — the acceptance
-criterion is >= 3x — and ``zero_one_adaptive_wall_speedup`` is the
+fixed-trial design at the same worst-cell precision over the adaptive
+spend (acceptance >= 3x); ``zero_one_adaptive_wall_speedup`` is the
 wall-clock ratio against actually running that fixed design.
-Determinism is not traded: the equivalence test in
-``tests/test_adaptive.py`` pins adaptive == one-shot bit-for-bit.
+Determinism is not traded: ``tests/test_adaptive.py`` pins adaptive ==
+one-shot bit-for-bit, and ``tests/test_kernels.py`` pins every kernel
+backend decision- and value-identical.
 
 PR 2 headline (still tracked): the Scenario/Study compiler.
 ``theorem1``, ``mindegree``, and ``degree_poisson`` ride the
-shared-deployment sweep (one ring sample + overlap count serving every
-``(k, α)`` / ``h`` post-filter, with exact monotone deduction across
-nested curves), each measured against its ``backend="legacy"``
-per-point loop.  The ``mindegree`` grid is benched twice: the
-sweep-bound ``ks=[1, 2]`` grid (biconnectivity decisions; the
-common-random-numbers saving shows directly) and the full default
-``ks=[1, 2, 3]`` grid, where the exact ``k = 3`` Dinic scan —
-identical work on both backends — dominates and dilutes the ratio.
+shared-deployment sweep, each measured against its
+``backend="legacy"`` per-point loop.
 """
 
 from __future__ import annotations
 
+import argparse
+import importlib
 import json
 import os
 import platform
 import sys
 import time
 from typing import Callable, Dict, List
+
+
+# `python benchmarks/run_all.py` puts benchmarks/ (not the repo root)
+# on sys.path; add the root so the shared fixtures in
+# benchmarks.conftest import the same way they do under pytest.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 
 def _timed(fn: Callable[[], object], repeats: int = 2) -> float:
@@ -53,11 +68,28 @@ def _timed(fn: Callable[[], object], repeats: int = 2) -> float:
     return best
 
 
+def _numba_version():
+    try:
+        return importlib.import_module("numba").__version__
+    except ImportError:
+        return None
+
+
 def main(argv: List[str]) -> int:
-    out_path = argv[1] if len(argv) > 1 else os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_PR4.json",
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/run_all.py",
+        description="Run the key perf workloads and write a JSON report.",
     )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_PR5.json",
+        ),
+        metavar="PATH",
+        help="result JSON path (default: BENCH_PR5.json at the repo root)",
+    )
+    out_path = parser.parse_args(argv[1:]).output
 
     import numpy as np
 
@@ -212,6 +244,68 @@ def main(argv: List[str]) -> int:
     )
     speedups["zero_one_adaptive_wall_speedup"] = round(fixed_s / adaptive_s, 2)
 
+    # -- exact k-connectivity decision: certificate + ISAP scan ----------
+    # The two shared fixtures from benchmarks.conftest.kconn_fixture
+    # (same workload the per-backend pytest benches time):
+    #
+    # * "sparse" — channel-thinned near the k = 3 threshold, the graph
+    #   the mindegree grid actually decides.  The ISAP scan sets the
+    #   absolute rate (``kconn_decision_per_s``); the certificate is
+    #   roughly break-even here (m is already near k·n).
+    # * "dense" — the same deployment with the channel fully on
+    #   (m ~ 7x the certificate bound).  Without the certificate, the
+    #   scan degenerates: the pivot's neighborhood is large, so
+    #   thousands of neighbor-pair queries run on the full network.
+    #   The certificate caps both the network size and the pivot
+    #   degree, which is the whole point of the preprocessing pass
+    #   (``kconn_certificate_vs_plain_dense``).
+    from benchmarks.conftest import kconn_fixture
+    from repro.graphs.vertex_connectivity import is_k_connected_edges
+    from repro.kernels import get_backend, resolve_backend_name
+
+    kconn_n, kconn_sparse = kconn_fixture()
+    _, kconn_dense = kconn_fixture(dense=True)
+    kconn_reps = 10
+
+    def kconn_case(edges: "np.ndarray", reps: int, certificate: bool) -> None:
+        for _ in range(reps):
+            is_k_connected_edges(kconn_n, edges, 3, certificate=certificate)
+
+    sparse_cert_s = _timed(lambda: kconn_case(kconn_sparse, kconn_reps, True))
+    sparse_plain_s = _timed(lambda: kconn_case(kconn_sparse, kconn_reps, False))
+    dense_cert_s = _timed(lambda: kconn_case(kconn_dense, kconn_reps, True))
+    dense_plain_s = _timed(lambda: kconn_case(kconn_dense, 1, False))
+    backend = get_backend()
+    for label, edges_, cert_s_, plain_s_, plain_reps in (
+        ("sparse", kconn_sparse, sparse_cert_s, sparse_plain_s, kconn_reps),
+        ("dense", kconn_dense, dense_cert_s, dense_plain_s, 1),
+    ):
+        benches.append(
+            {
+                "name": f"kconn_decision_{label}_certificate",
+                "wall_s": round(cert_s_, 4),
+                "reps": kconn_reps,
+                "num_nodes": kconn_n,
+                "edges": int(edges_.shape[0]),
+                "certificate_edges": int(
+                    backend.sparse_certificate(kconn_n, edges_, 3).shape[0]
+                ),
+            }
+        )
+        benches.append(
+            {
+                "name": f"kconn_decision_{label}_plain",
+                "wall_s": round(plain_s_, 4),
+                "reps": plain_reps,
+                "num_nodes": kconn_n,
+                "edges": int(edges_.shape[0]),
+            }
+        )
+    speedups["kconn_certificate_vs_plain_dense"] = round(
+        (dense_plain_s * kconn_reps) / dense_cert_s, 2
+    )
+    speedups["kconn_decision_per_s"] = round(kconn_reps / sparse_cert_s, 1)
+
     # -- connectivity kernel: vectorized vs Python union-find -----------
     edges = erdos_renyi_edges(1000, 0.008, seed=3)
     keys = edges[:, 0] * 1000 + edges[:, 1]
@@ -248,13 +342,15 @@ def main(argv: List[str]) -> int:
     speedups["connectivity_kernel_vs_python"] = round(py_s / vec_s, 2)
 
     report = {
-        "pr": 4,
+        "pr": 5,
         "generated_by": "benchmarks/run_all.py",
         "env": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "cpus": os.cpu_count(),
             "repro_trials": trials,
+            "kernel_backend": resolve_backend_name(),
+            "numba": _numba_version(),
         },
         "benches": benches,
         "speedups": speedups,

@@ -97,8 +97,8 @@ def run_mindegree_equiv(
         )
         study_result = study.run(workers=workers)
     points: List[CurvePoint] = []
-    for k in ks:
-        for alpha in alphas:
+    for ki, k in enumerate(ks):
+        for ai, alpha in enumerate(alphas):
             p = channel_prob_for_alpha(
                 num_nodes, key_ring_size, pool_size, q, alpha, k
             )
@@ -124,11 +124,15 @@ def run_mindegree_equiv(
                     key_ring_size,
                 )
             else:
+                # Grid-index seed derivation: non-negative (SeedSequence
+                # rejects negatives, which alpha-based offsets hit for
+                # small root seeds) and collision-free across the grid
+                # (every (k, alpha) point gets an independent stream).
                 deg_est, conn_est, agreement = estimate_agreement(
                     params,
                     k,
                     trials,
-                    seed=seed + 7 * k + int(alpha * 100),
+                    seed=seed + ki * len(alphas) + ai,
                     workers=workers,
                 )
             # Primary estimate slot: the min-degree probability (Lemma 8's

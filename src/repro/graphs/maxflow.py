@@ -61,51 +61,6 @@ class FlowNetwork:
         self._head[v] = idx + 1
         return idx
 
-    def save_capacities(self) -> List[int]:
-        """Snapshot the current arc capacities (for later restore).
-
-        Building the split digraph dominates repeated local-connectivity
-        queries on one graph, so callers snapshot the pristine
-        capacities once and :meth:`restore_capacities` between queries
-        instead of rebuilding the network.
-        """
-        return self._cap.copy()
-
-    def restore_capacities(self, capacities: List[int]) -> None:
-        """Reset arc capacities to a snapshot from :meth:`save_capacities`."""
-        if len(capacities) != len(self._cap):
-            raise GraphError(
-                f"capacity snapshot has {len(capacities)} arcs, network has "
-                f"{len(self._cap)}"
-            )
-        self._cap[:] = capacities
-
-    def bfs_levels(self, source: int) -> List[int]:
-        """Full BFS level assignment from *source* on the current residual.
-
-        Sink-independent, so repeated-source callers (the
-        k-connectivity pivot scan) compute it once on the pristine
-        capacities and pass it to :meth:`max_flow` as ``first_levels``
-        for every sink, skipping the first BFS of each query.
-        """
-        levels = [-1] * self._n
-        levels[source] = 0
-        queue = [source]
-        qi = 0
-        to, cap, nxt, head = self._to, self._cap, self._next, self._head
-        while qi < len(queue):
-            u = queue[qi]
-            qi += 1
-            lu = levels[u]
-            a = head[u]
-            while a != -1:
-                v = to[a]
-                if cap[a] > 0 and levels[v] == -1:
-                    levels[v] = lu + 1
-                    queue.append(v)
-                a = nxt[a]
-        return levels
-
     def _bfs_levels(self, source: int, sink: int) -> Optional[List[int]]:
         levels = [-1] * self._n
         levels[source] = 0
@@ -181,21 +136,13 @@ class FlowNetwork:
                 back = path.pop()
                 u = to[back ^ 1]
 
-    def max_flow(
-        self,
-        source: int,
-        sink: int,
-        limit: int = _INF,
-        first_levels: Optional[List[int]] = None,
-    ) -> int:
+    def max_flow(self, source: int, sink: int, limit: int = _INF) -> int:
         """Compute the max flow from *source* to *sink*, stopping at *limit*.
 
-        Mutates residual capacities; either build a fresh network per
-        query or bracket queries with :meth:`save_capacities` /
-        :meth:`restore_capacities` (the vertex-connectivity layer does
-        the latter on its repeated-query path).  *first_levels*, if
-        given, must be :meth:`bfs_levels` of *source* on the current
-        (pristine) capacities; it replaces the first BFS phase.
+        Mutates residual capacities; build a fresh network per query.
+        (Repeated truncated queries against one fixed graph — the
+        k-connectivity pivot scan — run on the specialized ISAP scanner
+        in :mod:`repro.graphs.vertex_connectivity` instead.)
         """
         if not (0 <= source < self._n and 0 <= sink < self._n):
             raise GraphError("source/sink outside network")
@@ -205,13 +152,7 @@ class FlowNetwork:
             return 0
         flow = 0
         while flow < limit:
-            if first_levels is not None:
-                levels: Optional[List[int]] = (
-                    list(first_levels) if first_levels[sink] != -1 else None
-                )
-                first_levels = None
-            else:
-                levels = self._bfs_levels(source, sink)
+            levels = self._bfs_levels(source, sink)
             if levels is None:
                 break
             pushed = self._blocking_flow(source, sink, levels, limit - flow)

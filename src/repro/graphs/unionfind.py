@@ -13,6 +13,7 @@ from typing import List
 import numpy as np
 
 from repro.exceptions import GraphError
+from repro.kernels import get_backend
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -83,34 +84,14 @@ def _validate_edges(num_nodes: int, edges: np.ndarray) -> np.ndarray:
 def _min_label_components(
     num_nodes: int, u: np.ndarray, v: np.ndarray
 ) -> np.ndarray:
-    """Array-based union-find: minimum-label propagation with pointer jumping.
+    """Min-label component kernel, dispatched to the active backend.
 
-    ``labels[i]`` converges to the smallest node id in *i*'s component.
-    Each outer round hooks the larger endpoint label onto the smaller
-    (``np.minimum.at``) and then compresses paths to a fixpoint by
-    repeated ``labels[labels]`` jumping, so the whole computation is
-    O(m + n) numpy work per round with O(log n) rounds in practice —
-    no per-edge Python iteration.
+    ``labels[i]`` is the smallest node id in *i*'s component.  The
+    pure-numpy pointer-jumping implementation lives in
+    :func:`repro.kernels.reference.min_label_components`; accelerated
+    backends (numba) register alternatives in :mod:`repro.kernels`.
     """
-    labels = np.arange(num_nodes, dtype=np.int64)
-    if u.size == 0:
-        return labels
-    while True:
-        lu = labels[u]
-        lv = labels[v]
-        active = lu != lv
-        if not active.any():
-            return labels
-        np.minimum.at(
-            labels,
-            np.maximum(lu[active], lv[active]),
-            np.minimum(lu[active], lv[active]),
-        )
-        while True:
-            jumped = labels[labels]
-            if np.array_equal(jumped, labels):
-                break
-            labels = jumped
+    return get_backend().min_label_components(num_nodes, u, v)
 
 
 def connected_components_labels(num_nodes: int, edges: np.ndarray) -> np.ndarray:

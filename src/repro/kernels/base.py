@@ -1,0 +1,120 @@
+"""The :class:`KernelBackend` interface: three narrow hot-path kernels.
+
+Profiling across PRs 1–4 identified three kernels that dominate every
+Monte Carlo workload in this repository:
+
+1. **min-label connectivity union** — component labels of an edge array
+   (the connectivity decision of every sweep trial);
+2. **candidate-pair overlap counting** — shared-key multiplicities per
+   co-holding node pair from the key → holders incidence (the sampling
+   cost of every deployment);
+3. **the exact k-connectivity decision** — the Even-style Dinic scan
+   with a Nagamochi–Ibaraki sparse-certificate preprocessing pass (the
+   decision cost of every ``k >= 2`` sweep).
+
+A backend supplies implementations of exactly these entry points and
+nothing else; everything above (sweep engine, study compiler,
+experiments, WSN layer) dispatches through
+:func:`repro.kernels.get_backend`.  Backends must be *decision- and
+value-identical*: swapping one never changes a result, only wall-clock
+— the consistency-test corpus in ``tests/test_kernels.py`` pins this.
+
+The contracts are deliberately array-first (no ``Graph`` objects cross
+the seam), so compiled backends (numba today, cupy in the planned GPU
+exploration) can run without touching Python object graphs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(abc.ABC):
+    """Abstract kernel backend; see the module docstring for contracts."""
+
+    #: Registry name (unique; used by config fields, CLI, and env var).
+    name: str = "abstract"
+
+    #: One-line provenance string (dependency versions etc.).
+    description: str = ""
+
+    # -- kernel 1: min-label connectivity union ------------------------
+
+    @abc.abstractmethod
+    def min_label_components(
+        self, num_nodes: int, u: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """Component label per node for the edge list ``(u[i], v[i])``.
+
+        ``labels[i]`` must be the smallest node id in *i*'s component
+        (so connectivity is ``(labels == 0).all()`` and the number of
+        components is ``np.unique(labels).size``).  Endpoint arrays are
+        int64 and may be empty.
+        """
+
+    # -- kernel 2: candidate-pair overlap counting ---------------------
+
+    @abc.abstractmethod
+    def overlap_counts(
+        self, node_ids: np.ndarray, key_ids: np.ndarray, num_nodes: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Shared-key count per co-holding node pair.
+
+        Input is the flattened incidence (``node_ids[i]`` holds
+        ``key_ids[i]``; both int64, non-empty; rows are unique — a node
+        holds a key at most once, as key rings are subsets).  Returns
+        ``(pair_keys, counts)`` where ``pair_keys`` encodes each
+        unordered pair ``(a, b), a < b`` sharing at least one key as
+        ``a * num_nodes + b``, sorted ascending, and ``counts`` is the
+        number of shared keys.  Pairs sharing zero keys are absent.
+        """
+
+    # -- kernel 3: the exact k-connectivity decision -------------------
+
+    @abc.abstractmethod
+    def sparse_certificate(
+        self, num_nodes: int, edges: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Nagamochi–Ibaraki sparse certificate for the κ >= k decision.
+
+        Returns a subset of the ``(m, 2)`` int64 canonical edge array
+        with at most ``k * (num_nodes - 1)`` edges such that the
+        certificate subgraph is k-vertex-connected iff the input graph
+        is (scan-first forest decomposition: the union of ``k``
+        successive scan-first-search spanning forests, Cheriyan–Kao–
+        Thurimella / Nagamochi–Ibaraki).  Row order of surviving edges
+        is preserved.  Inputs that are already at or below the bound
+        may be returned unchanged.
+        """
+
+    def k_connected(
+        self,
+        num_nodes: int,
+        edges: np.ndarray,
+        k: int,
+        *,
+        certificate: bool = True,
+    ) -> bool:
+        """Exact decision: is the edge array's graph k-vertex-connected?
+
+        The default composes the shared decision engine
+        (:func:`repro.graphs.vertex_connectivity.is_k_connected_edges`)
+        with this backend's kernels: min-label union for ``k = 1``,
+        Tarjan biconnectivity for ``k = 2``, and the truncated-Dinic
+        pivot scan for general ``k`` — each running on this backend's
+        :meth:`sparse_certificate` when *certificate* is enabled.
+        Backends with a fully compiled decision path may override.
+        """
+        from repro.graphs.vertex_connectivity import is_k_connected_edges
+
+        return is_k_connected_edges(
+            num_nodes, edges, k, certificate=certificate, backend=self
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name}>"

@@ -1,0 +1,257 @@
+"""Optional numba-jitted kernel backend.
+
+Importing this module never requires numba: availability is probed
+lazily and :func:`make_backend` raises :class:`~repro.exceptions.KernelError`
+with the import failure when the dependency is missing.  The registry
+(:mod:`repro.kernels`) only loads this module when the ``"numba"``
+backend is actually selected, so the default installation stays
+numba-free (the CI default legs prove it).
+
+The jitted kernels mirror the reference contracts exactly:
+
+* min-label union — a path-halving union-find that always hooks the
+  larger root under the smaller, so the root of every set *is* its
+  minimum member id (the reference min-label contract for free);
+* overlap counting — sort the incidence by key, emit pair events per
+  key run, sort the pair keys, run-length encode;
+* sparse certificate — CSR adjacency + k rounds of scan-first BFS
+  forests, identical edge selection logic to the reference pass.
+
+All functions are cached (``cache=True``) so warm-pool workers pay the
+JIT compile once per machine, not once per process.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import KernelError
+from repro.kernels.base import KernelBackend
+from repro.kernels.reference import ReferenceBackend
+
+__all__ = ["NumbaBackend", "make_backend", "numba_available"]
+
+try:  # pragma: no cover - exercised by the CI numba job
+    import numba
+    from numba import njit
+
+    _NUMBA_IMPORT_ERROR: Exception = None  # type: ignore[assignment]
+except ImportError as exc:  # numba absent: the gate the default CI legs prove
+    numba = None  # type: ignore[assignment]
+    njit = None  # type: ignore[assignment]
+    _NUMBA_IMPORT_ERROR = exc
+
+
+def numba_available() -> bool:
+    """Whether the numba dependency imported successfully."""
+    return numba is not None
+
+
+if numba is not None:  # pragma: no cover - exercised by the CI numba job
+
+    @njit(cache=True)
+    def _min_label_uf(num_nodes, u, v):
+        parent = np.arange(num_nodes, dtype=np.int64)
+        for i in range(u.shape[0]):
+            a = u[i]
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            b = v[i]
+            while parent[b] != b:
+                parent[b] = parent[parent[b]]
+                b = parent[b]
+            if a != b:
+                # Smaller root wins, so every root is its set's minimum.
+                if a < b:
+                    parent[b] = a
+                else:
+                    parent[a] = b
+        labels = np.empty(num_nodes, dtype=np.int64)
+        for i in range(num_nodes):
+            r = i
+            while parent[r] != r:
+                r = parent[r]
+            x = i
+            while parent[x] != r:
+                nxt = parent[x]
+                parent[x] = r
+                x = nxt
+            labels[i] = r
+        return labels
+
+    @njit(cache=True)
+    def _overlap_counts(node_ids, key_ids, num_nodes):
+        order = np.argsort(key_ids)
+        total = key_ids.shape[0]
+        # Pass 1: number of pair events (sum of C(run, 2) per key run).
+        npairs = 0
+        i = 0
+        while i < total:
+            j = i + 1
+            while j < total and key_ids[order[j]] == key_ids[order[i]]:
+                j += 1
+            run = j - i
+            npairs += run * (run - 1) // 2
+            i = j
+        if npairs == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        # Pass 2: emit one pair key per co-holding pair per key.
+        pairs = np.empty(npairs, dtype=np.int64)
+        pos = 0
+        i = 0
+        while i < total:
+            j = i + 1
+            while j < total and key_ids[order[j]] == key_ids[order[i]]:
+                j += 1
+            for a in range(i, j):
+                na = node_ids[order[a]]
+                for b in range(a + 1, j):
+                    nb = node_ids[order[b]]
+                    if na < nb:
+                        pairs[pos] = na * num_nodes + nb
+                    else:
+                        pairs[pos] = nb * num_nodes + na
+                    pos += 1
+            i = j
+        pairs.sort()
+        # Run-length encode (the np.unique(return_counts=True) contract).
+        nunique = 1
+        for t in range(1, npairs):
+            if pairs[t] != pairs[t - 1]:
+                nunique += 1
+        keys = np.empty(nunique, dtype=np.int64)
+        counts = np.empty(nunique, dtype=np.int64)
+        slot = 0
+        run_start = 0
+        for t in range(1, npairs + 1):
+            if t == npairs or pairs[t] != pairs[run_start]:
+                keys[slot] = pairs[run_start]
+                counts[slot] = t - run_start
+                slot += 1
+                run_start = t
+        return keys, counts
+
+    @njit(cache=True)
+    def _scan_first_used(num_nodes, eu, ev, k):
+        m = eu.shape[0]
+        counts = np.zeros(num_nodes, dtype=np.int64)
+        for e in range(m):
+            counts[eu[e]] += 1
+            counts[ev[e]] += 1
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        for i in range(num_nodes):
+            indptr[i + 1] = indptr[i] + counts[i]
+        fill = indptr[:num_nodes].copy()
+        adj_nbr = np.empty(2 * m, dtype=np.int64)
+        adj_eid = np.empty(2 * m, dtype=np.int64)
+        # Two passes (all u-endpoints in edge order, then all
+        # v-endpoints) reproduce the reference backend's stable-argsort
+        # adjacency order exactly, so BFS tie-breaking — and therefore
+        # the selected certificate edges — match the reference
+        # bit-for-bit, not just decision-for-decision.
+        for e in range(m):
+            a = eu[e]
+            adj_nbr[fill[a]] = ev[e]
+            adj_eid[fill[a]] = e
+            fill[a] += 1
+        for e in range(m):
+            b = ev[e]
+            adj_nbr[fill[b]] = eu[e]
+            adj_eid[fill[b]] = e
+            fill[b] += 1
+        used = np.zeros(m, dtype=np.bool_)
+        visited = np.zeros(num_nodes, dtype=np.bool_)
+        queue = np.empty(num_nodes, dtype=np.int64)
+        remaining = m
+        for _ in range(k):
+            if remaining == 0:
+                break
+            visited[:] = False
+            for root in range(num_nodes):
+                if visited[root]:
+                    continue
+                visited[root] = True
+                queue[0] = root
+                head = 0
+                tail = 1
+                while head < tail:
+                    x = queue[head]
+                    head += 1
+                    for idx in range(indptr[x], indptr[x + 1]):
+                        w = adj_nbr[idx]
+                        if visited[w]:
+                            continue
+                        e = adj_eid[idx]
+                        if used[e]:
+                            continue
+                        visited[w] = True
+                        used[e] = True
+                        remaining -= 1
+                        queue[tail] = w
+                        tail += 1
+        return used
+
+
+class NumbaBackend(ReferenceBackend):
+    """Numba-jitted backend; falls back to nothing — construction fails
+    fast when numba is missing (see :func:`make_backend`)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if numba is None:  # pragma: no cover - guarded by make_backend
+            raise KernelError(
+                f"numba backend requested but numba is not importable: "
+                f"{_NUMBA_IMPORT_ERROR}"
+            )
+        self.description = f"numba {numba.__version__} jitted kernels"
+
+    def min_label_components(
+        self, num_nodes: int, u: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        if u.size == 0:
+            return np.arange(num_nodes, dtype=np.int64)
+        return _min_label_uf(
+            num_nodes,
+            np.ascontiguousarray(u, dtype=np.int64),
+            np.ascontiguousarray(v, dtype=np.int64),
+        )
+
+    def overlap_counts(
+        self, node_ids: np.ndarray, key_ids: np.ndarray, num_nodes: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return _overlap_counts(
+            np.ascontiguousarray(node_ids, dtype=np.int64),
+            np.ascontiguousarray(key_ids, dtype=np.int64),
+            num_nodes,
+        )
+
+    def sparse_certificate(
+        self, num_nodes: int, edges: np.ndarray, k: int
+    ) -> np.ndarray:
+        m = int(edges.shape[0])
+        if m == 0 or k < 1 or m <= k * (num_nodes - 1):
+            return edges
+        used = _scan_first_used(
+            num_nodes,
+            np.ascontiguousarray(edges[:, 0], dtype=np.int64),
+            np.ascontiguousarray(edges[:, 1], dtype=np.int64),
+            k,
+        )
+        return edges[used]
+
+
+def make_backend() -> NumbaBackend:
+    """Instantiate the numba backend, raising ``KernelError`` when gated."""
+    if numba is None:
+        raise KernelError(
+            "the 'numba' kernel backend needs the optional numba "
+            f"dependency, which failed to import: {_NUMBA_IMPORT_ERROR}"
+        )
+    return NumbaBackend()

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.graphs.graph import Graph
+from repro.kernels import get_backend
 from repro.keygraphs.rings import rings_to_incidence, sample_uniform_rings
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_positive_int
@@ -70,43 +71,15 @@ def overlap_counts_from_rings(rings: Rings) -> Tuple[np.ndarray, np.ndarray]:
     Pairs sharing zero keys are absent.  This is the primitive under
     both the q-composite edge rule (``counts >= q``) and the attack
     layer (which needs the actual shared-key multiplicities).
+
+    The counting itself is a kernel dispatched to the active backend
+    (:mod:`repro.kernels`); the group-size-batched ``np.unique``
+    implementation lives in :func:`repro.kernels.reference.overlap_counts`.
     """
     node_ids, key_ids, n = _flatten_rings(rings)
     if key_ids.size == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-
-    order = np.argsort(key_ids, kind="stable")
-    sorted_keys = key_ids[order]
-    sorted_nodes = node_ids[order]
-
-    # Group boundaries: starts[i] .. starts[i+1] hold one key's holders.
-    change = np.flatnonzero(np.diff(sorted_keys)) + 1
-    starts = np.concatenate(([0], change, [sorted_keys.size]))
-    group_sizes = np.diff(starts)
-
-    pair_chunks: List[np.ndarray] = []
-    # Vectorize by group size: all keys held by exactly m nodes are
-    # processed with one (count, m) gather + one triu-index expansion.
-    for m in np.unique(group_sizes):
-        m = int(m)
-        if m < 2:
-            continue
-        sel = np.flatnonzero(group_sizes == m)
-        # (len(sel), m) matrix of holder ids for every key of this size.
-        gather = starts[sel][:, None] + np.arange(m, dtype=np.int64)[None, :]
-        holders = sorted_nodes[gather]
-        ia, ib = np.triu_indices(m, k=1)
-        a = holders[:, ia].ravel()
-        b = holders[:, ib].ravel()
-        lo = np.minimum(a, b)
-        hi = np.maximum(a, b)
-        pair_chunks.append(lo * np.int64(n) + hi)
-
-    if not pair_chunks:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    all_pairs = np.concatenate(pair_chunks)
-    pair_keys, counts = np.unique(all_pairs, return_counts=True)
-    return pair_keys, counts.astype(np.int64)
+    return get_backend().overlap_counts(node_ids, key_ids, n)
 
 
 def edges_from_rings(rings: Rings, q: int, *, backend: str = "inverted") -> np.ndarray:

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.graphs.unionfind import is_connected_pair_keys
+from repro.kernels import get_backend, resolve_backend_name, use_backend
 from repro.keygraphs.rings import sample_uniform_rings
 from repro.keygraphs.uniform_graph import overlap_counts_from_rings
 from repro.simulation.engine import run_batches
@@ -78,11 +79,19 @@ class SweepSpec:
     curves: Tuple[Curve, ...]
     trials: int
     seed: Optional[int] = None
+    #: Kernel backend name, or ``None`` for ambient resolution (active
+    #: backend > ``REPRO_KERNEL_BACKEND`` > reference).  Resolved in the
+    #: submitting process before scheduling, so warm-pool workers honor
+    #: overrides made after the pool was spawned.  Backends are
+    #: decision-identical; this only selects the compute implementation.
+    kernel_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_nodes, "num_nodes")
         check_positive_int(self.pool_size, "pool_size")
         check_positive_int(self.trials, "trials")
+        if self.kernel_backend is not None:
+            resolve_backend_name(self.kernel_backend)  # raises on unknown
         if not self.ring_sizes:
             raise ParameterError("ring_sizes must be non-empty")
         if not self.curves:
@@ -159,13 +168,14 @@ def _sweep_block(
     ring_index, start, stop = block
     ring = spec.ring_sizes[ring_index]
     successes = np.zeros(len(spec.curves), dtype=np.int64)
-    for trial in range(start, stop):
-        rng = np.random.default_rng(
-            grid_seed_sequence(spec.seed, ring_index, trial)
-        )
-        successes += sweep_deployment_outcomes(
-            spec.num_nodes, spec.pool_size, ring, spec.curves, rng
-        )
+    with use_backend(spec.kernel_backend):
+        for trial in range(start, stop):
+            rng = np.random.default_rng(
+                grid_seed_sequence(spec.seed, ring_index, trial)
+            )
+            successes += sweep_deployment_outcomes(
+                spec.num_nodes, spec.pool_size, ring, spec.curves, rng
+            )
     return successes
 
 
@@ -227,6 +237,13 @@ def run_sweep_trials(
     """
     from repro.simulation.engine import default_workers
 
+    # Pin the kernel backend here, in the submitting process: ambient
+    # resolution (active backend / env var) must not depend on how stale
+    # a warm-pool worker's environment snapshot is.
+    spec = dataclasses.replace(
+        spec, kernel_backend=resolve_backend_name(spec.kernel_backend)
+    )
+    get_backend(spec.kernel_backend)  # unavailable backends fail fast here
     n_rings = len(spec.ring_sizes)
     effective = default_workers() if workers is None else max(1, int(workers))
     blocks = split_trial_blocks(n_rings, spec.trials, effective)

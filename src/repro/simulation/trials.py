@@ -18,10 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.channels.onoff import sample_onoff_mask
-from repro.graphs.graph import Graph
 from repro.graphs.properties import degrees_from_edges
 from repro.graphs.unionfind import is_connected_edges
-from repro.graphs.vertex_connectivity import is_k_connected
+from repro.graphs.vertex_connectivity import is_k_connected_edges
 from repro.keygraphs.rings import sample_uniform_rings
 from repro.keygraphs.uniform_graph import edges_from_rings
 from repro.params import QCompositeParams
@@ -62,17 +61,14 @@ def k_connectivity_trial(
 ) -> bool:
     """One deployment → is it k-connected? (exact decision).
 
-    Short-circuits through the min-degree necessary condition before
-    invoking the flow-based decision, which keeps the expensive path
-    rare near the threshold.
+    The decision kernel short-circuits through the min-degree
+    necessary condition itself before any flow network is built, which
+    keeps the expensive path rare near the threshold.
     """
     edges = sample_secure_edges(params, rng)
     if k == 1:
         return is_connected_edges(params.num_nodes, edges)
-    if int(degrees_from_edges(params.num_nodes, edges).min()) < k:
-        return False
-    graph = Graph.from_edge_array(params.num_nodes, edges)
-    return is_k_connected(graph, k)
+    return is_k_connected_edges(params.num_nodes, edges, k)
 
 
 def min_degree_trial(
@@ -112,5 +108,4 @@ def min_degree_vs_kconn_trial(
         return (False, False)  # min degree < k forbids k-connectivity
     if k == 1:
         return (True, is_connected_edges(params.num_nodes, edges))
-    graph = Graph.from_edge_array(params.num_nodes, edges)
-    return (True, is_k_connected(graph, k))
+    return (True, is_k_connected_edges(params.num_nodes, edges, k))

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.kernels import get_backend, resolve_backend_name, use_backend
 from repro.simulation.engine import default_workers, run_batches, run_trials
 from repro.simulation.sweep import split_trial_blocks
 from repro.study.metrics import (
@@ -78,6 +79,11 @@ class GroupPlan:
     needs_disk: bool
     needs_capture: bool
     scenarios: Tuple[Scenario, ...]
+    # Resolved kernel-backend name for every kernel call of this plan's
+    # work units (deployment sampling and metric evaluation).  Resolved
+    # at compile time in the submitting process, so warm-pool workers
+    # honor overrides made after the pool was spawned.
+    kernel_backend: str = "reference"
 
     @property
     def num_sizes(self) -> int:
@@ -122,7 +128,23 @@ class GroupPlan:
 def _plan_group(scenarios: Sequence[Scenario]) -> GroupPlan:
     head = scenarios[0]
     num_sizes = head.num_sizes
+    declared = {
+        s.kernel_backend for s in scenarios if s.kernel_backend is not None
+    }
+    if len(declared) > 1:
+        names = sorted(s.name for s in scenarios)
+        raise ParameterError(
+            f"scenarios {names} share one deployment family but declare "
+            f"different kernel backends {sorted(declared)}; backends are "
+            "result-identical, so pick one (or drop the field)"
+        )
+    # Resolve AND load in the submitting process: an unavailable backend
+    # (e.g. numba without the dependency) must fail here, not deep in a
+    # pool worker.
+    backend_name = resolve_backend_name(declared.pop() if declared else None)
+    get_backend(backend_name)
     return GroupPlan(
+        kernel_backend=backend_name,
         sizes=head.sizes,
         pool_sizes=tuple(head.pool_size_at(si) for si in range(num_sizes)),
         ring_grid=tuple(head.ring_sizes_at(si) for si in range(num_sizes)),
@@ -170,42 +192,43 @@ def _group_block(
     ring = plan.ring_grid[size_index][ring_index]
     out = np.empty((stop - start, plan.num_columns), dtype=np.float64)
     curve_sel = None if active is None else active[(group_index, size_index, ring_index)]
-    for row, trial in enumerate(range(start, stop)):
-        if plan.sized:
-            seed_seq = grid_seed_sequence(plan.seed, size_index, ring_index, trial)
-        else:
-            seed_seq = grid_seed_sequence(plan.seed, ring_index, trial)
-        rng = np.random.default_rng(seed_seq)
-        dep = sample_deployment(
-            plan.sizes[size_index],
-            plan.pool_sizes[size_index],
-            ring,
-            plan.q_mins[size_index],
-            rng,
-            needs_onoff=plan.needs_onoff,
-            needs_disk=plan.needs_disk,
-            needs_capture=plan.needs_capture,
-        )
-        evaluator = DeploymentEvaluator(dep)
-        ledgers: Dict = {}  # shared deduction state across member scenarios
-        col = 0
-        for sc_index, scenario in enumerate(plan.scenarios):
-            curves = scenario.curves_at(size_index)
-            width = len(curves) * len(scenario.metrics)
-            if curve_sel is None:
-                values = evaluate_scenario(evaluator, scenario, ledgers, curves=curves)
+    with use_backend(plan.kernel_backend):
+        for row, trial in enumerate(range(start, stop)):
+            if plan.sized:
+                seed_seq = grid_seed_sequence(plan.seed, size_index, ring_index, trial)
             else:
-                chosen = curve_sel[sc_index]
-                values = np.full((len(curves), len(scenario.metrics)), np.nan)
-                if chosen:
-                    values[list(chosen), :] = evaluate_scenario(
-                        evaluator,
-                        scenario,
-                        ledgers,
-                        curves=tuple(curves[ci] for ci in chosen),
-                    )
-            out[row, col : col + width] = values.reshape(-1)
-            col += width
+                seed_seq = grid_seed_sequence(plan.seed, ring_index, trial)
+            rng = np.random.default_rng(seed_seq)
+            dep = sample_deployment(
+                plan.sizes[size_index],
+                plan.pool_sizes[size_index],
+                ring,
+                plan.q_mins[size_index],
+                rng,
+                needs_onoff=plan.needs_onoff,
+                needs_disk=plan.needs_disk,
+                needs_capture=plan.needs_capture,
+            )
+            evaluator = DeploymentEvaluator(dep)
+            ledgers: Dict = {}  # shared deduction state across member scenarios
+            col = 0
+            for sc_index, scenario in enumerate(plan.scenarios):
+                curves = scenario.curves_at(size_index)
+                width = len(curves) * len(scenario.metrics)
+                if curve_sel is None:
+                    values = evaluate_scenario(evaluator, scenario, ledgers, curves=curves)
+                else:
+                    chosen = curve_sel[sc_index]
+                    values = np.full((len(curves), len(scenario.metrics)), np.nan)
+                    if chosen:
+                        values[list(chosen), :] = evaluate_scenario(
+                            evaluator,
+                            scenario,
+                            ledgers,
+                            curves=tuple(curves[ci] for ci in chosen),
+                        )
+                out[row, col : col + width] = values.reshape(-1)
+                col += width
     return out
 
 
@@ -326,6 +349,7 @@ class Study:
         provenance: Dict[str, object] = {
             "engine": "study/v1",
             "workers": effective,
+            "kernel_backends": sorted({p.kernel_backend for p in plans}),
             "groups": [self._group_provenance(plan) for plan in plans],
             "deployments": int(
                 sum(p.num_sizes * p.num_rings * p.trials for p in plans)
@@ -433,6 +457,7 @@ class Study:
         provenance: Dict[str, object] = {
             "engine": "study/v1",
             "workers": effective,
+            "kernel_backends": sorted({p.kernel_backend for p in plans}),
             "trial_window": [trial_start, trial_stop],
             "deployments": int(len(scheduled) * span),
         }
@@ -447,6 +472,7 @@ class Study:
             "scenarios": [s.name for s in plan.scenarios],
             "trials": plan.trials,
             "seed": plan.seed,
+            "kernel_backend": plan.kernel_backend,
         }
         if plan.sized:
             out.update(

@@ -28,12 +28,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.graphs.graph import Graph
 from repro.graphs.unionfind import (
     connected_components_labels,
     is_connected_pair_keys,
 )
-from repro.graphs.vertex_connectivity import is_k_connected
+from repro.kernels import get_backend
 from repro.keygraphs.rings import sample_uniform_rings
 from repro.keygraphs.uniform_graph import overlap_counts_from_rings
 from repro.study.scenario import MetricSpec, Scenario
@@ -293,8 +292,14 @@ class DeploymentEvaluator:
                 )
             if int(self.degrees(channel, q, p).min()) < metric.k:
                 return 0.0  # batched min-degree pre-filter
-            graph = Graph.from_edge_array(dep.num_nodes, self._edges(channel, q, p))
-            return float(is_k_connected(graph, metric.k))
+            # Exact decision on the kernel backend: the Nagamochi–
+            # Ibaraki certificate pass runs before any flow network is
+            # built, and no Graph object is constructed on this path.
+            return float(
+                get_backend().k_connected(
+                    dep.num_nodes, self._edges(channel, q, p), metric.k
+                )
+            )
         if kind == "giant_fraction":
             edges = self._edges(channel, q, p)
             labels = connected_components_labels(dep.num_nodes, edges)

@@ -38,7 +38,7 @@ import json
 import math
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import ParameterError
+from repro.exceptions import KernelError, ParameterError
 from repro.utils.validation import (
     check_key_parameters,
     check_nonnegative_int,
@@ -175,6 +175,7 @@ _SCENARIO_FIELDS = {
     "kind",
     "protocol",
     "protocol_params",
+    "kernel_backend",
 }
 
 
@@ -223,6 +224,14 @@ class Scenario:
     protocol, protocol_params:
         For ``kind="protocol"``: registered protocol name and its
         parameters (see :mod:`repro.study.protocols`).
+    kernel_backend:
+        Kernel backend name for this scenario's compute kernels
+        (:mod:`repro.kernels`; e.g. ``"reference"`` or ``"numba"``), or
+        ``None`` for ambient resolution (CLI ``--kernel-backend`` >
+        ``REPRO_KERNEL_BACKEND`` env > reference).  Backends are
+        decision-identical, so this field never changes results — it is
+        still part of the config round-trip so runs record what they
+        executed on.  Sweep scenarios only.
     """
 
     name: str
@@ -238,6 +247,7 @@ class Scenario:
     kind: str = "sweep"
     protocol: Optional[str] = None
     protocol_params: Tuple[Tuple[str, object], ...] = ()
+    kernel_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -253,6 +263,18 @@ class Scenario:
             raise ParameterError(
                 f"unknown scenario kind {self.kind!r}; use 'sweep' or 'protocol'"
             )
+        if self.kernel_backend is not None:
+            if self.kind == "protocol":
+                raise ParameterError(
+                    "kernel_backend applies to sweep scenarios; protocol "
+                    f"scenario {self.name!r} runs its own trial loop"
+                )
+            from repro.kernels import resolve_backend_name
+
+            try:
+                resolve_backend_name(self.kernel_backend)
+            except KernelError as exc:
+                raise ParameterError(str(exc)) from exc
         self._normalize_sizes()
         if isinstance(self.protocol_params, Mapping):
             object.__setattr__(
@@ -576,6 +598,8 @@ class Scenario:
             out["pool_size"] = list(self.pool_size)
         else:
             out["pool_size"] = self.pool_size
+        if self.kernel_backend is not None:
+            out["kernel_backend"] = self.kernel_backend
         if self.kind == "protocol":
             out["protocol"] = self.protocol
             out["protocol_params"] = dict(self.protocol_params)
@@ -650,6 +674,11 @@ class Scenario:
                 kind=str(data.get("kind", "sweep")),
                 protocol=data.get("protocol"),  # type: ignore[arg-type]
                 protocol_params=protocol_params,  # type: ignore[arg-type]
+                kernel_backend=(
+                    None
+                    if data.get("kernel_backend") is None
+                    else str(data["kernel_backend"])
+                ),
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, ParameterError):

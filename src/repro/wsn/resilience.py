@@ -21,9 +21,8 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.exceptions import ParameterError
-from repro.graphs.graph import Graph
 from repro.graphs.unionfind import is_connected_edges
-from repro.graphs.vertex_connectivity import is_k_connected
+from repro.graphs.vertex_connectivity import is_k_connected_edges
 from repro.utils.rng import RandomState, as_generator
 from repro.wsn.network import SecureWSN
 
@@ -100,8 +99,8 @@ def evaluate_resilience(
         resilient = is_connected_edges(n_live, trusted_arr)
         plain = is_connected_edges(n_live, all_arr)
     else:
-        resilient = is_k_connected(Graph.from_edge_array(n_live, trusted_arr), k)
-        plain = is_k_connected(Graph.from_edge_array(n_live, all_arr), k)
+        resilient = is_k_connected_edges(n_live, trusted_arr, k)
+        plain = is_k_connected_edges(n_live, all_arr, k)
 
     return ResilienceOutcome(
         captured_nodes=sorted(captured),

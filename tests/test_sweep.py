@@ -225,3 +225,46 @@ class TestBackendConsistency:
         low, high = result.points
         assert low.point["alpha"] < high.point["alpha"]
         assert low.estimate.successes <= high.estimate.successes
+
+
+class TestKernelBackendConsistency:
+    """Every available kernel backend is bit-identical on the Figure-1
+    fixture — the registry-wide extension of the PR 1 sweep/legacy
+    backend-consistency pattern, run with the warm pool on and off.
+    (The numba CI leg runs this file with numba installed, so the
+    parametrization covers the jitted backend there.)
+    """
+
+    FIXTURE = dict(
+        num_nodes=120,
+        pool_size=2000,
+        ring_sizes=(28, 34),
+        curves=tuple(SIX_CURVES),
+        trials=5,
+        seed=2017,
+    )
+
+    def _available(self):
+        from repro.kernels import available_backends
+
+        return [b["name"] for b in available_backends() if b["available"]]
+
+    def test_all_backends_identical_sweep_counts(self):
+        baseline = run_sweep_trials(SweepSpec(**self.FIXTURE), workers=1)
+        for name in self._available():
+            spec = SweepSpec(kernel_backend=name, **self.FIXTURE)
+            assert np.array_equal(
+                run_sweep_trials(spec, workers=1), baseline
+            ), name
+
+    @pytest.mark.parametrize("persistent_pool", ["0", "1"])
+    def test_backends_worker_invariant_pool_on_and_off(
+        self, persistent_pool, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PERSISTENT_POOL", persistent_pool)
+        baseline = run_sweep_trials(SweepSpec(**self.FIXTURE), workers=1)
+        for name in self._available():
+            spec = SweepSpec(kernel_backend=name, **self.FIXTURE)
+            assert np.array_equal(
+                run_sweep_trials(spec, workers=2), baseline
+            ), (name, persistent_pool)
