@@ -47,6 +47,17 @@ Subcommands
     study-file spelling of ``repro run NAME --seed 7``.  Results render
     as generic per-metric tables; ``--save`` writes the full per-trial
     value tensors as JSON.
+
+    Fault tolerance: ``--max-retries N``, ``--unit-timeout S``, and
+    ``--speculate-after S`` run work units under the per-unit
+    supervisor (:mod:`repro.simulation.scheduler`) — bounded retries
+    with jittered backoff, per-unit timeouts, speculative straggler
+    re-execution, and graceful degradation to a partial (NaN-bearing)
+    result with a fault report in provenance.  ``--chaos FILE_OR_SPEC``
+    (or the ``REPRO_CHAOS`` env var) additionally injects
+    deterministically seeded failures — crash, delay, drop, partial
+    result, broken pool — around every unit, for testing that the
+    supervised run still converges to the fault-free answer.
 """
 
 from __future__ import annotations
@@ -175,6 +186,49 @@ def build_parser() -> argparse.ArgumentParser:
             '(--set "num_nodes_grid=[200,500]" replaces num_nodes)'
         ),
     )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="FILE_OR_SPEC",
+        help=(
+            "inject deterministic faults around every work unit: a "
+            "ChaosSpec JSON file path or an inline JSON object (also "
+            "honored from the REPRO_CHAOS environment variable); implies "
+            "the fault-tolerant scheduler"
+        ),
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fault-tolerant scheduler: failed-attempt budget per work "
+            "unit beyond its first try (default 3); passing any scheduler "
+            "flag enables per-unit supervision"
+        ),
+    )
+    p.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "fault-tolerant scheduler: declare a work-unit attempt lost "
+            "after this many seconds and retry it"
+        ),
+    )
+    p.add_argument(
+        "--speculate-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "fault-tolerant scheduler: launch a duplicate of a straggler "
+            "still running after this many seconds (first result wins; "
+            "duplicates are verified bit-identical)"
+        ),
+    )
     return parser
 
 
@@ -255,6 +309,30 @@ def _is_per_size_curves(scenario: dict) -> bool:
     )
 
 
+def _build_scheduler_policy(args: argparse.Namespace):
+    """Scheduler policy from CLI flags, or ``None`` to stay unsupervised.
+
+    Any of ``--chaos``/``--max-retries``/``--unit-timeout``/
+    ``--speculate-after`` opts into per-unit supervision; ``REPRO_CHAOS``
+    alone also does (resolved downstream by the study runner).
+    """
+    flags = (args.chaos, args.max_retries, args.unit_timeout, args.speculate_after)
+    if all(value is None for value in flags):
+        return None
+    from repro.simulation.faults import chaos_from_env, load_chaos
+    from repro.simulation.scheduler import SchedulerPolicy
+
+    chaos = load_chaos(args.chaos) if args.chaos is not None else chaos_from_env()
+    kwargs: Dict[str, object] = {"chaos": chaos}
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.unit_timeout is not None:
+        kwargs["unit_timeout"] = args.unit_timeout
+    if args.speculate_after is not None:
+        kwargs["speculate_after"] = args.speculate_after
+    return SchedulerPolicy(**kwargs)  # type: ignore[arg-type]
+
+
 def _run_study_file(args: argparse.Namespace) -> int:
     from repro.study import Study, render_study_result
 
@@ -306,6 +384,7 @@ def _run_study_file(args: argparse.Namespace) -> int:
                         )
 
     study = Study.from_dict(data)
+    scheduler = _build_scheduler_policy(args)
     if args.target_ci is not None:
         from repro.study import AdaptivePolicy, run_adaptive_study
 
@@ -314,14 +393,16 @@ def _run_study_file(args: argparse.Namespace) -> int:
             max_trials=args.max_trials if args.max_trials is not None else 4000,
             block_trials=args.block_trials,
         )
-        result = run_adaptive_study(study, policy, workers=args.workers)
+        result = run_adaptive_study(
+            study, policy, workers=args.workers, scheduler=scheduler
+        )
     elif args.max_trials is not None or args.block_trials is not None:
         raise ExperimentError(
             "--max-trials/--block-trials configure adaptive runs; "
             "pass --target-ci to enable one"
         )
     else:
-        result = study.run(workers=args.workers)
+        result = study.run(workers=args.workers, scheduler=scheduler)
     print(render_study_result(result))
     adaptive = result.provenance.get("adaptive")
     if isinstance(adaptive, dict):
@@ -331,6 +412,23 @@ def _run_study_file(args: argparse.Namespace) -> int:
             f"(max cell {adaptive['max_cell_trials']}, "
             f"{adaptive['savings_vs_fixed']}x savings vs fixed-trial)"
         )
+    faults = result.provenance.get("faults")
+    if isinstance(faults, dict):
+        from repro.simulation.scheduler import FaultReport
+
+        report = FaultReport(
+            **{
+                name: faults.get(name, 0)
+                for name in FaultReport._COUNTERS
+            },
+            dead_units=list(faults.get("dead_units", ())),
+        )
+        print(f"\nfaults: {report.summary()}")
+        if report.dead_units:
+            print(
+                "warning: partial result — dead work units left NaN "
+                "(unevaluated) cells; raise --max-retries to converge"
+            )
     if args.save:
         result.save(args.save)
         print(f"\nsaved: {args.save}")

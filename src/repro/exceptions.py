@@ -53,3 +53,65 @@ class KernelError(ReproError):
     registered or when an optional-dependency backend (e.g. numba) is
     selected but its dependency is not importable.
     """
+
+
+class SchedulerError(ReproError):
+    """Fault-tolerant work-unit scheduling was misconfigured or failed.
+
+    Base class for the typed per-unit failures below; callers of
+    :func:`repro.simulation.scheduler.run_units` can catch this one
+    class at the boundary.
+    """
+
+
+class WorkUnitError(SchedulerError):
+    """One work unit's attempt failed; carries unit index and attempt.
+
+    Instances cross process boundaries (a worker raises, the supervisor
+    observes), so ``__reduce__`` keeps the identifying fields through
+    pickling.
+    """
+
+    def __init__(self, message: str, unit_index=None, attempt=None) -> None:
+        super().__init__(message)
+        self.unit_index = unit_index
+        self.attempt = attempt
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.unit_index, self.attempt))
+
+
+class UnitTimeoutError(WorkUnitError):
+    """A work unit exceeded the scheduler's per-unit timeout.
+
+    The attempt is declared lost and retried; the original execution may
+    still complete later, in which case its (bit-identical) result is
+    deduplicated, never double-counted.
+    """
+
+
+class CorruptResultError(WorkUnitError):
+    """A work unit's result failed integrity validation.
+
+    Raised supervisor-side when a returned payload does not match the
+    checksum computed at the worker before the result was shipped —
+    a dropped or corrupted (e.g. chaos ``partial``-strategy) result.
+    """
+
+
+class InjectedFailure(WorkUnitError):
+    """A failure deliberately raised by the chaos-injection harness.
+
+    The ``crash`` strategy of :class:`repro.simulation.faults.ChaosSpec`
+    raises this inside the worker; seeing it escape a run means the
+    scheduler's retry budget was exhausted (or no supervisor was active).
+    """
+
+
+class DeadUnitError(SchedulerError):
+    """Work units exhausted their retry budget and were quarantined.
+
+    Raised only when a caller demands complete results
+    (``allow_partial=False``); the default scheduling path degrades to a
+    partial result plus a structured fault report instead.
+    """

@@ -49,10 +49,26 @@ from repro.simulation.engine import (
     trials_from_env,
 )
 from repro.simulation.pool import (
+    discard_executor,
+    executor_lease,
     get_executor,
     persistent_pools_enabled,
     shutdown_pools,
     submit_batches,
+)
+from repro.simulation.faults import (
+    ChaosSpec,
+    FailureInjector,
+    FaultStrategy,
+    chaos_from_env,
+    load_chaos,
+)
+from repro.simulation.scheduler import (
+    FaultReport,
+    SchedulerPolicy,
+    combine_fault_reports,
+    resolve_scheduler_policy,
+    run_units,
 )
 from repro.simulation.estimators import BernoulliEstimate, wilson_interval
 from repro.simulation.results import (
@@ -92,9 +108,21 @@ __all__ = [
     "run_batches",
     "trials_from_env",
     "get_executor",
+    "discard_executor",
+    "executor_lease",
     "persistent_pools_enabled",
     "shutdown_pools",
     "submit_batches",
+    "ChaosSpec",
+    "FaultStrategy",
+    "FailureInjector",
+    "chaos_from_env",
+    "load_chaos",
+    "FaultReport",
+    "SchedulerPolicy",
+    "combine_fault_reports",
+    "resolve_scheduler_policy",
+    "run_units",
     "split_trial_blocks",
     "BernoulliEstimate",
     "wilson_interval",

@@ -12,6 +12,13 @@ window, so concurrency never exceeds the request and the process
 never accumulates one resident pool per distinct worker count.  The
 pool is shut down at interpreter exit.
 
+Callers with work in flight hold a *lease* on their executor
+(:func:`acquire_lease`/:func:`release_lease` or the
+:func:`executor_lease` context manager).  Growing the pool while
+leases are outstanding retires the old executor gracefully — it stops
+accepting new work but finishes what leaseholders already submitted —
+instead of cancelling their futures out from under them.
+
 Determinism is unaffected: work units carry their own seeds, so *which*
 pool (or how warm it is) never changes results.
 
@@ -23,15 +30,27 @@ manage process lifetimes themselves).
 from __future__ import annotations
 
 import atexit
+import contextlib
 import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
 
-__all__ = ["persistent_pools_enabled", "get_executor", "shutdown_pools", "submit_batches"]
+__all__ = [
+    "persistent_pools_enabled",
+    "get_executor",
+    "discard_executor",
+    "shutdown_pools",
+    "submit_batches",
+    "acquire_lease",
+    "release_lease",
+    "executor_lease",
+    "active_leases",
+]
 
 _EXECUTOR: Optional[ProcessPoolExecutor] = None
 _EXECUTOR_SIZE = 0
+_LEASES: Dict[int, int] = {}  # id(executor) -> outstanding lease count
 
 
 def persistent_pools_enabled() -> bool:
@@ -39,28 +58,77 @@ def persistent_pools_enabled() -> bool:
     return os.environ.get("REPRO_PERSISTENT_POOL", "1") != "0"
 
 
+def acquire_lease(executor: ProcessPoolExecutor) -> None:
+    """Mark *executor* as having caller work in flight.
+
+    While any lease is outstanding, :func:`get_executor` growth retires
+    the executor without cancelling its futures.
+    """
+    _LEASES[id(executor)] = _LEASES.get(id(executor), 0) + 1
+
+
+def release_lease(executor: ProcessPoolExecutor) -> None:
+    """Release one lease taken by :func:`acquire_lease`."""
+    key = id(executor)
+    count = _LEASES.get(key, 0)
+    if count <= 1:
+        _LEASES.pop(key, None)
+    else:
+        _LEASES[key] = count - 1
+
+
+def active_leases(executor: ProcessPoolExecutor) -> int:
+    """Outstanding lease count for *executor* (0 when unleased)."""
+    return _LEASES.get(id(executor), 0)
+
+
+@contextlib.contextmanager
+def executor_lease(executor: ProcessPoolExecutor) -> Iterator[ProcessPoolExecutor]:
+    """Hold a lease on *executor* for the duration of the block."""
+    acquire_lease(executor)
+    try:
+        yield executor
+    finally:
+        release_lease(executor)
+
+
 def get_executor(workers: int) -> ProcessPoolExecutor:
-    """Return the warm executor, growing it if *workers* exceeds its size."""
+    """Return the warm executor, growing it if *workers* exceeds its size.
+
+    Growth normally cancels the old executor's queue outright, but when
+    a caller holds a lease (work legitimately in flight) the old
+    executor is *retired* instead: no new submissions land on it, its
+    running and queued futures complete normally, and its processes
+    exit once the last one drains.
+    """
     global _EXECUTOR, _EXECUTOR_SIZE
     if _EXECUTOR is None or _EXECUTOR_SIZE < workers:
         if _EXECUTOR is not None:
-            _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+            if active_leases(_EXECUTOR):
+                _EXECUTOR.shutdown(wait=False)
+            else:
+                _EXECUTOR.shutdown(wait=False, cancel_futures=True)
         _EXECUTOR = ProcessPoolExecutor(max_workers=workers)
         _EXECUTOR_SIZE = workers
     return _EXECUTOR
 
 
-def _discard_executor() -> None:
+def discard_executor() -> None:
+    """Drop the warm executor (e.g. after ``BrokenProcessPool``).
+
+    The next :func:`get_executor` call builds a fresh one.
+    """
     global _EXECUTOR, _EXECUTOR_SIZE
     if _EXECUTOR is not None:
         _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _LEASES.pop(id(_EXECUTOR), None)
         _EXECUTOR = None
         _EXECUTOR_SIZE = 0
 
 
 def shutdown_pools() -> None:
     """Shut down the warm pool (registered via ``atexit``)."""
-    _discard_executor()
+    discard_executor()
 
 
 atexit.register(shutdown_pools)
@@ -110,22 +178,24 @@ def _windowed(
 def submit_batches(fn: Callable, batches: Sequence, workers: int) -> List:
     """Run ``fn(batch)`` for every batch on *workers* processes, in order.
 
-    Uses the warm pool when enabled, an ephemeral pool otherwise.  If
-    the warm pool turns out to be broken (a worker died since last
-    use), it is discarded and the whole batch list is retried once on a
-    fresh pool — work units are idempotent by the engine's determinism
-    contract, so the retry is safe.
+    Uses the warm pool when enabled, an ephemeral pool otherwise; both
+    paths share :func:`_windowed`, so window capping and
+    cancel-on-failure behave identically regardless of
+    ``REPRO_PERSISTENT_POOL``.  If the warm pool turns out to be broken
+    (a worker died since last use), it is discarded and the whole batch
+    list is retried once on a fresh pool — work units are idempotent by
+    the engine's determinism contract, so the retry is safe.
     """
     if not persistent_pools_enabled():
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(fn, batch) for batch in batches]
-            return [future.result() for future in futures]
+            return _windowed(pool, fn, batches, workers)
     for attempt in (0, 1):
         pool = get_executor(workers)
         try:
-            return _windowed(pool, fn, batches, workers)
+            with executor_lease(pool):
+                return _windowed(pool, fn, batches, workers)
         except BrokenProcessPool:
-            _discard_executor()
+            discard_executor()
             if attempt:
                 raise
     raise AssertionError("unreachable")  # pragma: no cover

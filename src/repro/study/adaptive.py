@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.simulation.estimators import wilson_half_width
+from repro.simulation.scheduler import SchedulerPolicy, combine_fault_reports
 from repro.study.compiler import ActiveMap, Study
 from repro.study.result import ScenarioResult, StudyResult
 from repro.study.scenario import Scenario
@@ -281,6 +282,7 @@ def run_adaptive_study(
     study: Study,
     policy: Optional[AdaptivePolicy] = None,
     workers: Optional[int] = None,
+    scheduler: Optional[SchedulerPolicy] = None,
     **policy_kwargs: object,
 ) -> StudyResult:
     """Run *study* adaptively until every cell meets its CI target.
@@ -293,6 +295,10 @@ def run_adaptive_study(
     stops paying for the others.  Protocol scenarios run once at their
     declared trials (their bespoke loops have no post-filter structure
     to extend cheaply) and pass through unchanged.
+
+    *scheduler* opts every round into fault-tolerant per-unit
+    supervision (see :meth:`Study.run`); per-round fault reports are
+    folded into one combined ``"faults"`` provenance entry.
 
     Returns a :class:`StudyResult` whose provenance carries the
     policy, the per-round windows, and the final allocation summary
@@ -317,12 +323,15 @@ def run_adaptive_study(
             f"measured metric labels: {sorted(known_labels)}"
         )
 
-    first = study.run(workers=workers)
+    first = study.run(workers=workers, scheduler=scheduler)
     acc: Dict[str, ScenarioResult] = {
         res.scenario.name: res for res in first.results
     }
     deployments = int(first.provenance.get("deployments", 0))  # type: ignore[arg-type]
     rounds: List[Dict[str, object]] = []
+    fault_reports: List[Optional[Dict[str, object]]] = [
+        first.provenance.get("faults")  # type: ignore[list-item]
+    ]
 
     for members in _sweep_families(study):
         group = Study(members)
@@ -334,10 +343,13 @@ def run_adaptive_study(
             if not active:
                 break
             stop = min(total + block, policy.max_trials)
-            shard = group.run_extension(total, stop, active=active, workers=workers)
+            shard = group.run_extension(
+                total, stop, active=active, workers=workers, scheduler=scheduler
+            )
             for member in members:
                 acc[member.name] = acc[member.name].merge(shard[member.name])
             deployments += int(shard.provenance.get("deployments", 0))  # type: ignore[arg-type]
+            fault_reports.append(shard.provenance.get("faults"))  # type: ignore[arg-type]
             rounds.append(
                 {
                     "scenarios": [m.name for m in members],
@@ -362,6 +374,9 @@ def run_adaptive_study(
         "rounds": rounds,
         **allocation,
     }
+    combined_faults = combine_fault_reports(fault_reports)
+    if combined_faults is not None:
+        provenance["faults"] = combined_faults
     return StudyResult(results=result.results, provenance=provenance)
 
 

@@ -44,6 +44,11 @@ import numpy as np
 from repro.exceptions import ParameterError
 from repro.kernels import get_backend, resolve_backend_name, use_backend
 from repro.simulation.engine import default_workers, run_batches, run_trials
+from repro.simulation.scheduler import (
+    SchedulerPolicy,
+    resolve_scheduler_policy,
+    run_units,
+)
 from repro.simulation.sweep import split_trial_blocks
 from repro.study.metrics import (
     DeploymentEvaluator,
@@ -313,9 +318,26 @@ class Study:
 
     # -- execution -----------------------------------------------------
 
-    def run(self, workers: Optional[int] = None) -> StudyResult:
+    def run(
+        self,
+        workers: Optional[int] = None,
+        scheduler: Optional[SchedulerPolicy] = None,
+    ) -> StudyResult:
+        """Run every scenario; *scheduler* opts into per-unit supervision.
+
+        With a :class:`~repro.simulation.scheduler.SchedulerPolicy`
+        (explicit, or implied by ``REPRO_CHAOS``), work units run under
+        the fault-tolerant supervisor: failed units retry with backoff,
+        stragglers may be speculatively re-executed, and units dead
+        after exhausting retries degrade to ``NaN`` cells plus a
+        ``"faults"`` provenance entry instead of failing the run.
+        Determinism makes the supervised result bit-identical to the
+        plain path whenever every unit completes.  Protocol scenarios
+        run through the ordinary per-trial engine either way.
+        """
         effective = default_workers() if workers is None else max(1, int(workers))
         plans = tuple(self.compile())
+        policy = resolve_scheduler_policy(scheduler)
 
         total_columns = sum(p.num_sizes * p.num_rings for p in plans)
         blocks: List[Tuple[int, int, int, int, int]] = []
@@ -328,16 +350,27 @@ class Study:
                     (gi, column // n_rings, column % n_rings, start, stop)
                 )
 
-        block_values = run_batches(
-            functools.partial(_group_block, plans, None), blocks, effective
-        )
+        block_fn = functools.partial(_group_block, plans, None)
+        if policy is None:
+            block_values = run_batches(block_fn, blocks, effective)
+            report = None
+        else:
+            block_values, report = run_units(
+                block_fn, blocks, workers=effective, policy=policy
+            )
 
-        # Assemble the per-group value tensors (sizes, rings, trials, columns).
+        # Assemble the per-group value tensors (sizes, rings, trials,
+        # columns).  Supervised runs seed with NaN so dead units leave
+        # unevaluated cells the merge substrate understands.
         tensors: List[np.ndarray] = [
             np.empty((p.num_sizes, p.num_rings, p.trials, p.num_columns))
+            if policy is None
+            else np.full((p.num_sizes, p.num_rings, p.trials, p.num_columns), np.nan)
             for p in plans
         ]
         for (gi, si, ri, start, stop), values in zip(blocks, block_values):
+            if values is None:
+                continue  # dead-lettered unit: cells stay NaN
             tensors[gi][si, ri, start:stop, :] = values
 
         by_name = _slice_scenario_results(plans, tensors, trial_offset=0)
@@ -355,6 +388,9 @@ class Study:
                 sum(p.num_sizes * p.num_rings * p.trials for p in plans)
             ),
         }
+        if policy is not None and report is not None:
+            provenance["scheduler"] = policy.to_dict()
+            provenance["faults"] = report.to_dict()
         return StudyResult(
             results=tuple(by_name[s.name] for s in self.scenarios),
             provenance=provenance,
@@ -366,6 +402,7 @@ class Study:
         trial_stop: int,
         active: Optional[ActiveMap] = None,
         workers: Optional[int] = None,
+        scheduler: Optional[SchedulerPolicy] = None,
     ) -> StudyResult:
         """Run only trials ``[trial_start, trial_stop)`` of every group.
 
@@ -440,15 +477,23 @@ class Study:
             for start, stop in spans
         ]
 
-        block_values = run_batches(
-            functools.partial(_group_block, plans, active), blocks, effective
-        )
+        block_fn = functools.partial(_group_block, plans, active)
+        policy = resolve_scheduler_policy(scheduler)
+        if policy is None:
+            block_values = run_batches(block_fn, blocks, effective)
+            report = None
+        else:
+            block_values, report = run_units(
+                block_fn, blocks, workers=effective, policy=policy
+            )
 
         tensors = [
             np.full((p.num_sizes, p.num_rings, span, p.num_columns), np.nan)
             for p in plans
         ]
         for (gi, si, ri, start, stop), values in zip(blocks, block_values):
+            if values is None:
+                continue  # dead-lettered unit: cells stay NaN
             tensors[gi][si, ri, start - trial_start : stop - trial_start, :] = values
 
         by_name = _slice_scenario_results(
@@ -461,6 +506,9 @@ class Study:
             "trial_window": [trial_start, trial_stop],
             "deployments": int(len(scheduled) * span),
         }
+        if policy is not None and report is not None:
+            provenance["scheduler"] = policy.to_dict()
+            provenance["faults"] = report.to_dict()
         return StudyResult(
             results=tuple(by_name[s.name] for s in self.scenarios),
             provenance=provenance,
@@ -537,7 +585,11 @@ class Study:
 
 
 def run_scenario(
-    scenario: Scenario, workers: Optional[int] = None
+    scenario: Scenario,
+    workers: Optional[int] = None,
+    scheduler: Optional[SchedulerPolicy] = None,
 ) -> ScenarioResult:
     """Run a single scenario and return its result directly."""
-    return Study((scenario,)).run(workers=workers)[scenario.name]
+    return Study((scenario,)).run(workers=workers, scheduler=scheduler)[
+        scenario.name
+    ]

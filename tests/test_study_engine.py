@@ -126,6 +126,19 @@ def _double(x: int) -> int:
     return 2 * x
 
 
+def _exit_once(arg):
+    # Kills its worker process the first time it runs (cross-process
+    # flag file), breaking the pool; reruns succeed.
+    flag, x = arg
+    import os
+
+    if not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        os._exit(13)
+    return 7 * x
+
+
 def _sleep_then_return(item):
     index, delay = item
     time.sleep(delay)
@@ -212,3 +225,87 @@ class TestWindowScheduling:
         assert pool.submit_batches(_raise_on_negative, [5, 6, 7], workers=2) == [
             15, 18, 21,
         ]
+
+    def test_ephemeral_path_routes_through_windowed(self, monkeypatch):
+        # The ephemeral path used to submit everything at once with no
+        # window and no cancel-on-failure; both paths must share
+        # _windowed now.
+        monkeypatch.setenv("REPRO_PERSISTENT_POOL", "0")
+        seen = {}
+        real = pool._windowed
+
+        def spy(executor, fn, batches, workers):
+            seen["batches"], seen["workers"] = len(batches), workers
+            return real(executor, fn, batches, workers)
+
+        monkeypatch.setattr(pool, "_windowed", spy)
+        assert pool.submit_batches(_double, [1, 2, 3], workers=2) == [2, 4, 6]
+        assert seen == {"batches": 3, "workers": 2}
+
+    def test_ephemeral_path_propagates_failures(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERSISTENT_POOL", "0")
+        with pytest.raises(ValueError, match="poison batch"):
+            pool.submit_batches(_raise_on_negative, [1, -1] + list(range(2, 10)), workers=2)
+
+
+class TestExecutorLeases:
+    def test_lease_counting(self):
+        executor = pool.get_executor(2)
+        assert pool.active_leases(executor) == 0
+        with pool.executor_lease(executor):
+            with pool.executor_lease(executor):
+                assert pool.active_leases(executor) == 2
+            assert pool.active_leases(executor) == 1
+        assert pool.active_leases(executor) == 0
+
+    def test_growth_with_lease_keeps_inflight_work(self):
+        # Regression: growing the warm pool used to shutdown(wait=False,
+        # cancel_futures=True) the old executor even with a caller's
+        # futures still queued on it — those callers saw
+        # CancelledError.  With a lease held, growth must retire the old
+        # executor gracefully and let its futures finish.
+        pool.shutdown_pools()
+        small = pool.get_executor(2)
+        with pool.executor_lease(small):
+            futures = [
+                small.submit(_sleep_then_return, (i, 0.15)) for i in range(6)
+            ]
+            grown = pool.get_executor(4)
+            assert grown is not small
+            assert [f.result(timeout=30) for f in futures] == list(range(6))
+            assert not any(f.cancelled() for f in futures)
+        pool.shutdown_pools()
+
+    def test_growth_without_lease_still_cancels(self):
+        # Unleased growth keeps the old fast-teardown behavior: queued
+        # work is cancelled rather than left running unsupervised.
+        pool.shutdown_pools()
+        small = pool.get_executor(1)
+        futures = [small.submit(_sleep_then_return, (i, 0.2)) for i in range(8)]
+        pool.get_executor(2)
+        # Cancellation is carried out by the executor's management
+        # thread, so poll briefly.  The executor had one worker: at
+        # most a couple of futures ran or started; the deep queue must
+        # end up cancelled.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not any(f.cancelled() for f in futures):
+            time.sleep(0.01)
+        assert any(f.cancelled() for f in futures)
+        pool.shutdown_pools()
+
+
+class TestBrokenPoolRetry:
+    def test_whole_batch_retry_after_worker_death(self, tmp_path):
+        # A worker killed mid-run (the crash mode behind the chaos
+        # harness's broken_pool strategy) breaks the executor;
+        # submit_batches must discard it and retry the whole batch list
+        # once on a fresh pool.
+        if not pool.persistent_pools_enabled():  # pragma: no cover
+            pytest.skip("whole-batch retry is the warm-pool path")
+        pool.shutdown_pools()
+        flag = str(tmp_path / "killed_once")
+        batches = [(flag, x) for x in range(5)]
+        assert pool.submit_batches(_exit_once, batches, workers=2) == [
+            7 * x for x in range(5)
+        ]
+        pool.shutdown_pools()
