@@ -6,13 +6,25 @@ Usage::
 
 Runs the performance-critical workloads with quick trial counts
 (``REPRO_TRIALS`` overrides) and writes per-bench wall times plus the
-headline speedups to ``--output`` (default ``BENCH_PR5.json``) so the
+headline speedups to ``--output`` (default ``BENCH_PR7.json``) so the
 perf trajectory is tracked across PRs.  The active kernel backend and
 the numba version (or ``null``) are stamped into the result's ``env``
 block, so a report is always attributable to the backend that
 produced it.
 
-PR 5 headline: the kernel-backend layer and the Nagamochi–Ibaraki
+PR 7 headline: the sharded execution service's content-addressed
+cache.  The cache-overlap fixture runs one growth study cold (sharded
+over the in-process transport, stamped as ``transport`` on the bench),
+resubmits it (a pure cache hit answering from disk —
+``cache_hit_vs_cold`` is the wall ratio, with zero work units
+executed), then doubles the trial count (an extension computing only
+the ``[trials, 2*trials)`` delta — ``cache_extension_vs_cold2x``
+against a cold run at the doubled count).  Bit-identity of every
+disposition to the one-shot run is pinned by
+``tests/test_service_cache.py``; these numbers track that the overlap
+resolution actually converts coverage into saved wall-clock.
+
+PR 5 headline (still tracked): the kernel-backend layer and the Nagamochi–Ibaraki
 sparse certificate.  The exact k-connectivity decision now runs as an
 ISAP scan with shared sink-rooted labels on the certificate subgraph
 (``kconn_decision_per_s`` tracks decisions per second on the
@@ -84,10 +96,10 @@ def main(argv: List[str]) -> int:
         "--output",
         default=os.path.join(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-            "BENCH_PR5.json",
+            "BENCH_PR7.json",
         ),
         metavar="PATH",
-        help="result JSON path (default: BENCH_PR5.json at the repo root)",
+        help="result JSON path (default: BENCH_PR7.json at the repo root)",
     )
     out_path = parser.parse_args(argv[1:]).output
 
@@ -306,6 +318,79 @@ def main(argv: List[str]) -> int:
     )
     speedups["kconn_decision_per_s"] = round(kconn_reps / sparse_cert_s, 1)
 
+    # -- cache overlap: hit and extension vs cold runs -------------------
+    # The PR 7 headline.  One growth study run cold through the sharded
+    # service path into a fresh content-addressed cache, then (a) the
+    # identical resubmission — answered entirely from the store, zero
+    # work units — and (b) a doubled-trial-count resubmission — an
+    # extension executing only the [trials, 2*trials) delta, compared
+    # against a cold run at the doubled count.
+    import shutil
+    import tempfile
+
+    from repro.service.cache import ResultCache, run_cached
+    from repro.study.compiler import Study
+    from repro.study.scenario import MetricSpec, Scenario
+
+    cache_trials = trials_from_env(60)
+    cache_transport = "inprocess"
+
+    def cache_scenario(n_trials: int) -> Scenario:
+        return Scenario(
+            name="cache_overlap",
+            num_nodes_grid=(150, 300),
+            pool_size=3000,
+            ring_sizes=(24, 30),
+            curves=((2, 0.6), (2, 1.0)),
+            trials=n_trials,
+            seed=20170605,
+            metrics=(MetricSpec("connectivity"),),
+        )
+
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cache_study = Study((cache_scenario(cache_trials),))
+        cache = ResultCache(cache_root)
+        start = time.perf_counter()
+        cold = run_cached(cache_study, cache, workers=1, shards=2)
+        cold_s = time.perf_counter() - start
+        assert cold.provenance["cache"]["disposition"] == "miss"
+        hit_s = _timed(lambda: run_cached(cache_study, cache, workers=1))
+        hit = run_cached(cache_study, cache, workers=1)
+        assert hit.provenance["cache"]["executed_units"] == 0
+
+        doubled = Study((cache_scenario(2 * cache_trials),))
+        start = time.perf_counter()
+        ext = run_cached(doubled, cache, workers=1, shards=2)
+        ext_s = time.perf_counter() - start
+        assert ext.provenance["cache"]["disposition"] == "extension"
+        cold2x_s = _timed(
+            lambda: run_cached(Study((cache_scenario(2 * cache_trials),)),
+                               ResultCache(tempfile.mkdtemp(
+                                   prefix="repro-bench-cache2x-", dir=cache_root)),
+                               workers=1, shards=2),
+            repeats=1,
+        )
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    for name, wall, disposition, n_trials in (
+        ("cache_overlap_cold", cold_s, "miss", cache_trials),
+        ("cache_overlap_hit", hit_s, "hit", cache_trials),
+        ("cache_overlap_extension", ext_s, "extension", 2 * cache_trials),
+        ("cache_overlap_cold2x", cold2x_s, "miss", 2 * cache_trials),
+    ):
+        benches.append(
+            {
+                "name": name,
+                "wall_s": round(wall, 4),
+                "trials": n_trials,
+                "disposition": disposition,
+                "transport": cache_transport,
+            }
+        )
+    speedups["cache_hit_vs_cold"] = round(cold_s / hit_s, 2)
+    speedups["cache_extension_vs_cold2x"] = round(cold2x_s / ext_s, 2)
+
     # -- connectivity kernel: vectorized vs Python union-find -----------
     edges = erdos_renyi_edges(1000, 0.008, seed=3)
     keys = edges[:, 0] * 1000 + edges[:, 1]
@@ -342,7 +427,7 @@ def main(argv: List[str]) -> int:
     speedups["connectivity_kernel_vs_python"] = round(py_s / vec_s, 2)
 
     report = {
-        "pr": 5,
+        "pr": 7,
         "generated_by": "benchmarks/run_all.py",
         "env": {
             "python": platform.python_version(),

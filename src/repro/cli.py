@@ -229,6 +229,140 @@ def build_parser() -> argparse.ArgumentParser:
             "duplicates are verified bit-identical)"
         ),
     )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed result cache directory: a repeated study is "
+            "a cache hit, an overlapping one (same scenarios, more trials) "
+            "runs only the missing trial window"
+        ),
+    )
+    p.add_argument(
+        "--transport",
+        default=None,
+        choices=("inprocess", "subprocess"),
+        help=(
+            "run the study as shards over this transport (subprocess = "
+            "`repro worker` child interpreters, the remote stand-in); "
+            "results fold bit-identically to a one-shot run"
+        ),
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count per deployment family (default 4 on the trial axis)",
+    )
+    p.add_argument(
+        "--shard-axis",
+        default="trial",
+        choices=("trial", "size"),
+        help=(
+            "axis to shard along: contiguous trial windows (default), or "
+            "size-grid entries for growth sweeps"
+        ),
+    )
+
+    p = sub.add_parser(
+        "worker", help="execute one shard JSON (service transport worker)"
+    )
+    p.add_argument("shard", help="path to a repro-shard/v1 JSON file")
+    p.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the shard result JSON here (default: SHARD.result.json)",
+    )
+    p.add_argument("--workers", type=int, default=None, help="process count")
+
+    p = sub.add_parser(
+        "serve", help="run the long-running study service on a spool directory"
+    )
+    p.add_argument(
+        "--spool",
+        required=True,
+        metavar="DIR",
+        help="spool directory (jobs/, status/, events/, results/ live here)",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="answer repeated/overlapping jobs from this result cache",
+    )
+    p.add_argument("--workers", type=int, default=None, help="process count per job")
+    p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=2,
+        metavar="N",
+        help="jobs executing at once, sharing the warm pool (default 2)",
+    )
+    p.add_argument(
+        "--transport",
+        default=None,
+        choices=("inprocess", "subprocess"),
+        help="execute jobs as shards over this transport",
+    )
+    p.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N jobs (bounded servers for CI/tests)",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long with no pending or running jobs",
+    )
+
+    p = sub.add_parser("submit", help="submit a study JSON to a running service")
+    p.add_argument("file", help="path to a scenario/study JSON file")
+    p.add_argument("--spool", required=True, metavar="DIR", help="service spool directory")
+    p.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="HW",
+        help="run the job adaptively to this CI target (see `repro study`)",
+    )
+    p.add_argument(
+        "--max-trials", type=int, default=None, metavar="N",
+        help="per-cell trial cap for --target-ci jobs",
+    )
+    p.add_argument(
+        "--block-trials", type=int, default=None, metavar="N",
+        help="trials per adaptive round for --target-ci jobs",
+    )
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="tail the job's progress events and exit with its outcome",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait gives up after this long (default 600)",
+    )
+
+    p = sub.add_parser("status", help="show service job status and events")
+    p.add_argument("job", nargs="?", default=None, help="job id (default: list all)")
+    p.add_argument("--spool", required=True, metavar="DIR", help="service spool directory")
+    p.add_argument(
+        "--events",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the last N progress events of the job (default 10)",
+    )
     return parser
 
 
@@ -386,6 +520,11 @@ def _run_study_file(args: argparse.Namespace) -> int:
     study = Study.from_dict(data)
     scheduler = _build_scheduler_policy(args)
     if args.target_ci is not None:
+        if args.cache or args.transport:
+            raise ExperimentError(
+                "--target-ci does not combine with --cache/--transport; "
+                "submit adaptive jobs to `repro serve` instead"
+            )
         from repro.study import AdaptivePolicy, run_adaptive_study
 
         policy = AdaptivePolicy(
@@ -401,6 +540,8 @@ def _run_study_file(args: argparse.Namespace) -> int:
             "--max-trials/--block-trials configure adaptive runs; "
             "pass --target-ci to enable one"
         )
+    elif args.cache or args.transport:
+        result = _run_study_service_path(study, args, scheduler)
     else:
         result = study.run(workers=args.workers, scheduler=scheduler)
     print(render_study_result(result))
@@ -411,6 +552,20 @@ def _run_study_file(args: argparse.Namespace) -> int:
             f"{adaptive['trials_spent']} cell-trials spent "
             f"(max cell {adaptive['max_cell_trials']}, "
             f"{adaptive['savings_vs_fixed']}x savings vs fixed-trial)"
+        )
+    cache_info = result.provenance.get("cache")
+    if isinstance(cache_info, dict):
+        delta = cache_info.get("delta_window")
+        detail = f", delta trials {delta}" if delta else ""
+        print(
+            f"\ncache: {cache_info['disposition']} "
+            f"({cache_info['executed_units']} work units executed{detail})"
+        )
+    if "transport" in result.provenance:
+        print(
+            f"transport: {result.provenance['transport']} "
+            f"({result.provenance.get('shards', '?')} shards along the "
+            f"{result.provenance.get('shard_axis', '?')} axis)"
         )
     faults = result.provenance.get("faults")
     if isinstance(faults, dict):
@@ -432,6 +587,204 @@ def _run_study_file(args: argparse.Namespace) -> int:
     if args.save:
         result.save(args.save)
         print(f"\nsaved: {args.save}")
+    return 0
+
+
+def _run_study_service_path(study, args: argparse.Namespace, scheduler):
+    """``repro study`` with --cache/--transport: the service execution path."""
+    from repro.service.cache import ResultCache, run_cached
+    from repro.service.shards import get_transport, run_sharded
+
+    transport = None
+    if args.transport is not None:
+        transport = get_transport(
+            args.transport,
+            workers=args.workers,
+            scheduler=scheduler if args.transport == "inprocess" else None,
+        )
+        if args.transport == "subprocess" and scheduler is not None:
+            raise ExperimentError(
+                "scheduler flags do not forward to subprocess workers; "
+                "set REPRO_CHAOS in the environment instead"
+            )
+    if args.cache:
+        return run_cached(
+            study,
+            ResultCache(args.cache),
+            workers=args.workers,
+            scheduler=scheduler,
+            transport=transport,
+            axis=args.shard_axis,
+            shards=args.shards,
+        )
+    return run_sharded(
+        study,
+        transport,
+        axis=args.shard_axis,
+        shards=args.shards,
+        workers=args.workers,
+        scheduler=scheduler,
+    )
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    from repro.service.shards import execute_shard
+
+    path = pathlib.Path(args.shard)
+    if not path.exists():
+        raise ExperimentError(f"no such shard file: {path}")
+    try:
+        shard = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"shard file {path} does not parse as JSON: {exc}")
+    payload = execute_shard(shard, workers=args.workers)
+    out = (
+        pathlib.Path(args.output)
+        if args.output
+        else path.with_suffix(".result.json")
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload))
+    print(str(out))
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.cache import ResultCache
+    from repro.service.queue import StudyService
+    from repro.service.shards import get_transport
+
+    cache = ResultCache(args.cache) if args.cache else None
+    transport = (
+        get_transport(args.transport, workers=args.workers)
+        if args.transport
+        else None
+    )
+    service = StudyService(
+        args.spool,
+        cache=cache,
+        workers=args.workers,
+        max_concurrent=args.max_concurrent,
+        transport=transport,
+    )
+    print(
+        f"serving spool {service.spool} "
+        f"(cache: {args.cache or 'off'}, transport: "
+        f"{args.transport or 'direct'}, max-concurrent: {args.max_concurrent})",
+        flush=True,
+    )
+    executed = service.serve_forever(
+        max_jobs=args.max_jobs, idle_timeout=args.idle_timeout
+    )
+    print(f"served {executed} job(s)")
+    return 0
+
+
+def _submit_job_id(path: pathlib.Path) -> str:
+    import time
+
+    return f"{path.stem}-{time.time_ns():x}"
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.queue import JOB_FORMAT
+
+    path = pathlib.Path(args.file)
+    if not path.exists():
+        raise ExperimentError(f"no such study file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"study file {path} does not parse as JSON: {exc}")
+    spool = pathlib.Path(args.spool)
+    jobs_dir = spool / "jobs"
+    jobs_dir.mkdir(parents=True, exist_ok=True)
+    options: Dict[str, object] = {}
+    if args.target_ci is not None:
+        options["target_ci"] = args.target_ci
+        if args.max_trials is not None:
+            options["max_trials"] = args.max_trials
+        if args.block_trials is not None:
+            options["block_trials"] = args.block_trials
+    elif args.max_trials is not None or args.block_trials is not None:
+        raise ExperimentError(
+            "--max-trials/--block-trials configure adaptive jobs; "
+            "pass --target-ci to enable one"
+        )
+    job_id = _submit_job_id(path)
+    job_path = jobs_dir / f"{job_id}.json"
+    tmp = job_path.with_name(job_path.name + ".tmp")
+    tmp.write_text(
+        json.dumps({"format": JOB_FORMAT, "study": data, "options": options})
+    )
+    tmp.replace(job_path)  # atomic: the server never reads a torn job
+    print(f"submitted {job_id}")
+    if not args.wait:
+        return 0
+
+    status_path = spool / "status" / f"{job_id}.json"
+    events_path = spool / "events" / f"{job_id}.jsonl"
+    deadline = time.time() + args.timeout
+    events_offset = 0
+    state = "queued"
+    while time.time() < deadline:
+        if events_path.exists():
+            with open(events_path) as stream:
+                stream.seek(events_offset)
+                for line in stream:
+                    print(f"  event: {line.rstrip()}")
+                events_offset = stream.tell()
+        try:
+            status = json.loads(status_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            status = None
+        if isinstance(status, dict):
+            state = str(status.get("state", state))
+            if state in ("done", "failed"):
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return 0 if state == "done" else 1
+        time.sleep(0.2)
+    print(f"timed out after {args.timeout}s waiting for {job_id} (state: {state})")
+    return 1
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    spool = pathlib.Path(args.spool)
+    status_dir = spool / "status"
+    if args.job is None:
+        rows = []
+        for path in sorted(status_dir.glob("*.json")):
+            try:
+                status = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            cache = status.get("cache") or {}
+            rows.append(
+                f"{status.get('job_id', path.stem):40} "
+                f"{status.get('state', '?'):8} "
+                f"units={status.get('units', '-')} "
+                f"cache={cache.get('disposition', '-')}"
+            )
+        if not rows:
+            print(f"no jobs in spool {spool}")
+        else:
+            print("\n".join(rows))
+        return 0
+    status_path = status_dir / f"{args.job}.json"
+    try:
+        status = json.loads(status_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        raise ExperimentError(f"no status for job {args.job!r} in spool {spool}")
+    print(json.dumps(status, indent=2, sort_keys=True))
+    events_path = spool / "events" / f"{args.job}.jsonl"
+    if events_path.exists() and args.events > 0:
+        lines = events_path.read_text().splitlines()
+        shown = lines[-args.events :]
+        print(f"\nevents (last {len(shown)} of {len(lines)}):")
+        for line in shown:
+            print(f"  {line}")
     return 0
 
 
@@ -507,6 +860,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "study":
         return _run_study_file(args)
+
+    if args.command == "worker":
+        return _run_worker(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "submit":
+        return _run_submit(args)
+
+    if args.command == "status":
+        return _run_status(args)
 
     return 2  # pragma: no cover - argparse enforces the choices
 

@@ -1,0 +1,310 @@
+"""Content-addressed result cache with trial-window overlap resolution.
+
+The cache key is :meth:`Scenario.content_hash` — sha256 over the
+scenario's canonical JSON normal form *minus* ``trials``.  Excluding
+the trial count is the whole point: trials is the one axis results may
+legally differ on while describing the same experiment, so a stored
+60-trial result *is* the answer to a 40-trial query (truncate — trial
+slots are addressed by absolute index) and *most* of the answer to a
+100-trial query (extend — run only ``[60, 100)`` and merge).  Every
+other field difference (seed, curves, grid, metrics, channel) changes
+the hash and misses.
+
+Dispositions of :func:`run_cached`, per study:
+
+* ``hit`` — every scenario's stored window covers its request; zero
+  work units execute.
+* ``extension`` — stored windows cover a proper prefix;
+  :meth:`Study.run_extension` (optionally sharded over a transport)
+  computes only the missing ``[covered, requested)`` delta, merged and
+  stored back.
+* ``miss`` — no usable stored prefix; full run, stored.
+* ``bypass`` — the study is uncacheable (protocol scenarios, mixed
+  per-scenario trial counts); it runs plainly, nothing is stored.
+
+Only complete (NaN-free) results are stored: a partial result (dead
+units, adaptive raggedness) is not a valid prefix to extend, because a
+one-shot run at the larger count would have evaluated the skipped
+cells.  Fault reports ride along with stored results and are folded —
+deduplicated by :func:`~repro.simulation.scheduler.combine_fault_reports`
+— into the final provenance, so a cached-then-extended study reports
+each historical fault exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.simulation.scheduler import SchedulerPolicy, combine_fault_reports
+from repro.service import events
+from repro.service.shards import ShardTransport, run_sharded
+from repro.study.compiler import Study
+from repro.study.result import ScenarioResult, StudyResult
+from repro.study.scenario import Scenario
+
+__all__ = ["CACHE_FORMAT", "CacheEntry", "ResultCache", "run_cached"]
+
+CACHE_FORMAT = "repro-cache/v1"
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One stored scenario result and the faults it survived."""
+
+    result: ScenarioResult
+    faults: Optional[Dict[str, object]]
+
+    @property
+    def trials(self) -> int:
+        return self.result.num_trials
+
+
+class ResultCache:
+    """File-backed store mapping scenario content hash → result JSON.
+
+    Layout: ``root/<hash[:2]>/<hash>.json`` (fan-out keeps directories
+    small at scale).  Writes go through a same-directory temp file +
+    ``rename`` so concurrent readers never observe a torn entry.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def lookup(self, scenario: Scenario) -> Optional[CacheEntry]:
+        """The stored entry for *scenario*'s family, or ``None``.
+
+        Unreadable or mismatched entries (hand-edited, interrupted
+        writes from pre-atomic-write versions, hash collisions) are
+        treated as misses, never as errors — the cache must only ever
+        make runs cheaper.
+        """
+        key = scenario.content_hash()
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict) or data.get("format") != CACHE_FORMAT:
+            return None
+        if data.get("scenario_hash") != key:
+            return None
+        try:
+            result = ScenarioResult.from_dict(data["result"])  # type: ignore[arg-type]
+        except Exception:
+            return None
+        if result.scenario.content_hash() != key or result.trial_offset != 0:
+            return None
+        faults = data.get("faults")
+        return CacheEntry(
+            result=result,
+            faults=faults if isinstance(faults, dict) else None,
+        )
+
+    def store(
+        self,
+        result: ScenarioResult,
+        faults: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        """Store *result* if it improves on what is held; report whether.
+
+        Skipped (returns ``False``) when the result is partial
+        (NaN-bearing — not a valid extension prefix), is itself a
+        window shard (nonzero offset), or does not extend the stored
+        trial coverage.
+        """
+        if result.trial_offset != 0:
+            return False
+        if np.isnan(result.values).any():
+            return False
+        key = result.scenario.content_hash()
+        existing = self.lookup(result.scenario)
+        if existing is not None and existing.trials >= result.num_trials:
+            return False
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, object] = {
+            "format": CACHE_FORMAT,
+            "scenario_hash": key,
+            "result": result.to_dict(),
+        }
+        if faults is not None:
+            payload["faults"] = faults
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        return True
+
+
+def _plain_run(
+    study: Study,
+    transport: Optional[ShardTransport],
+    axis: str,
+    shards: Optional[int],
+    workers: Optional[int],
+    scheduler: Optional[SchedulerPolicy],
+    window: Optional[Tuple[int, int]] = None,
+) -> StudyResult:
+    """Full or delta execution, routed through the transport if given."""
+    if transport is not None:
+        return run_sharded(
+            study,
+            transport,
+            axis=axis,
+            shards=shards,
+            workers=workers,
+            scheduler=scheduler,
+            window=window,
+        )
+    if window is not None:
+        return study.run_extension(
+            window[0], window[1], workers=workers, scheduler=scheduler
+        )
+    return study.run(workers=workers, scheduler=scheduler)
+
+
+def run_cached(
+    study: Study,
+    cache: ResultCache,
+    *,
+    workers: Optional[int] = None,
+    scheduler: Optional[SchedulerPolicy] = None,
+    transport: Optional[ShardTransport] = None,
+    axis: str = "trial",
+    shards: Optional[int] = None,
+) -> StudyResult:
+    """Answer *study* from *cache*, computing only what is missing.
+
+    Bit-identity contract: whatever the disposition, the returned
+    per-scenario values equal a cold one-shot run of *study* exactly —
+    truncation slices absolute-indexed trial slots, extension reruns
+    the identical seeded windows, and merge concatenates them in order.
+    Provenance gains a ``"cache"`` entry recording the disposition,
+    per-scenario content hashes, covered/requested trials, the delta
+    window, and the executed-unit count.
+    """
+    if not isinstance(cache, ResultCache):
+        raise ParameterError(
+            f"cache must be a ResultCache, got {type(cache).__name__}"
+        )
+    hashes = {sc.name: sc.content_hash() for sc in study.scenarios}
+    requested_counts = {sc.trials for sc in study.scenarios}
+    cacheable = (
+        all(sc.kind == "sweep" for sc in study.scenarios)
+        and len(requested_counts) == 1
+    )
+    if not cacheable:
+        # Protocol scenarios have no extension path, and mixed trial
+        # counts have no single family window to resolve overlap on.
+        result = _plain_run(study, transport, axis, shards, workers, scheduler)
+        events.emit("cache_bypass", scenarios=sorted(hashes))
+        provenance = dict(result.provenance)
+        provenance["cache"] = {
+            "disposition": "bypass",
+            "scenario_hashes": hashes,
+            "executed_units": int(provenance.get("units", 0)),  # type: ignore[arg-type]
+        }
+        return StudyResult(results=result.results, provenance=provenance)
+
+    requested = requested_counts.pop()
+    entries = {sc.name: cache.lookup(sc) for sc in study.scenarios}
+    covered = min(
+        (entry.trials if entry is not None else 0 for entry in entries.values()),
+        default=0,
+    )
+    stored_faults: List[Optional[Dict[str, object]]] = []
+
+    if covered >= requested:
+        disposition = "hit"
+        results = {}
+        for sc in study.scenarios:
+            entry = entries[sc.name]
+            assert entry is not None
+            results[sc.name] = entry.result.truncated(requested)
+            stored_faults.append(entry.faults)
+        executed_units = 0
+        delta_window = None
+        base_provenance: Dict[str, object] = {
+            "engine": "study/v1",
+            "kernel_backends": [],
+            "units": 0,
+            "deployments": 0,
+        }
+        events.emit(
+            "cache_hit",
+            scenarios=sorted(hashes),
+            covered_trials=covered,
+            requested_trials=requested,
+        )
+    elif covered > 0:
+        disposition = "extension"
+        delta_window = (covered, requested)
+        events.emit(
+            "cache_extension",
+            scenarios=sorted(hashes),
+            covered_trials=covered,
+            requested_trials=requested,
+            delta_window=list(delta_window),
+        )
+        delta = _plain_run(
+            study, transport, axis, shards, workers, scheduler, window=delta_window
+        )
+        results = {}
+        for sc in study.scenarios:
+            entry = entries[sc.name]
+            assert entry is not None
+            base = entry.result.truncated(covered)
+            results[sc.name] = base.merge(delta[sc.name])
+            stored_faults.append(entry.faults)
+        stored_faults.append(delta.provenance.get("faults"))  # type: ignore[arg-type]
+        executed_units = int(delta.provenance.get("units", 0))  # type: ignore[arg-type]
+        base_provenance = dict(delta.provenance)
+    else:
+        disposition = "miss"
+        delta_window = None
+        events.emit(
+            "cache_miss",
+            scenarios=sorted(hashes),
+            requested_trials=requested,
+        )
+        full = _plain_run(study, transport, axis, shards, workers, scheduler)
+        results = {sc.name: full[sc.name] for sc in study.scenarios}
+        stored_faults.append(full.provenance.get("faults"))  # type: ignore[arg-type]
+        executed_units = int(full.provenance.get("units", 0))  # type: ignore[arg-type]
+        base_provenance = dict(full.provenance)
+
+    combined_faults = combine_fault_reports(stored_faults)
+    for sc in study.scenarios:
+        cache.store(results[sc.name], faults=combined_faults)
+
+    provenance = dict(base_provenance)
+    provenance.pop("trial_window", None)  # the merged result is full-window
+    provenance["units"] = executed_units
+    if transport is not None:
+        provenance.setdefault("transport", transport.name)
+    provenance["cache"] = {
+        "disposition": disposition,
+        "store": str(cache.root),
+        "scenario_hashes": hashes,
+        "covered_trials": covered,
+        "requested_trials": requested,
+        "delta_window": list(delta_window) if delta_window else None,
+        "executed_units": executed_units,
+    }
+    if combined_faults is not None:
+        provenance["faults"] = combined_faults
+    elif "faults" in provenance:
+        del provenance["faults"]
+    return StudyResult(
+        results=tuple(results[sc.name] for sc in study.scenarios),
+        provenance=provenance,
+    )

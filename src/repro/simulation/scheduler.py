@@ -43,6 +43,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import heapq
+import json
 import os
 import pickle
 import time
@@ -180,6 +181,23 @@ def resolve_scheduler_policy(
 
 _EVENT_CAP = 200
 
+_events_mod = None
+
+
+def _emit(kind: str, **fields: object) -> None:
+    """Publish a progress event on the service bus, if anyone listens.
+
+    Imported lazily: the scheduler must not import the service layer at
+    module load (service → study → scheduler is the forward direction).
+    A bus with no subscribers makes this a near-free no-op.
+    """
+    global _events_mod
+    if _events_mod is None:
+        from repro.service import events as _events
+
+        _events_mod = _events
+    _events_mod.emit(kind, **fields)
+
 
 @dataclasses.dataclass
 class FaultReport:
@@ -228,6 +246,8 @@ class FaultReport:
             if detail:
                 event["detail"] = detail
             self.events.append(event)
+        if kind == "quarantine":
+            _emit("fault_quarantined", unit=unit, attempt=attempt, detail=detail)
 
     def summary(self) -> str:
         parts = [f"{self.completed}/{self.units} units"]
@@ -250,23 +270,69 @@ class FaultReport:
 
 
 def combine_fault_reports(reports: Sequence[Optional[Dict[str, object]]]) -> Optional[Dict[str, object]]:
-    """Fold per-round fault-report dicts (adaptive runs) into one.
+    """Fold fault-report dicts from rounds / shards / resubmissions.
 
     Counters sum; dead-letter and event lists concatenate (events stay
     capped).  ``None`` entries (rounds that ran unsupervised) are
     skipped; all-``None`` input folds to ``None``.
+
+    Folding is idempotent against service-level resubmission: a report
+    that appears twice (the cache folds a stored report back in next to
+    a delta run that already included it) is counted once, keyed on its
+    canonical JSON form.  Within distinct reports, events and dead
+    units are deduplicated on ``(trial window, unit, attempt, kind)`` —
+    unit indices are positional per round, so the ``"window"`` stamp
+    the compiler writes into each report is what keeps genuinely
+    different rounds from colliding.
     """
-    live = [r for r in reports if r]
+    live: List[Dict[str, object]] = []
+    seen_reports = set()
+    for report in reports:
+        if not report:
+            continue
+        key = json.dumps(report, sort_keys=True, default=str)
+        if key in seen_reports:
+            continue
+        seen_reports.add(key)
+        live.append(report)
     if not live:
         return None
     total = FaultReport()
+    seen_dead = set()
+    seen_events = set()
     for report in live:
         for name in FaultReport._COUNTERS:
             setattr(total, name, getattr(total, name) + int(report.get(name, 0)))  # type: ignore[arg-type]
-        total.dead_units.extend(report.get("dead_units", ()))  # type: ignore[arg-type]
-        remaining = _EVENT_CAP - len(total.events)
-        if remaining > 0:
-            total.events.extend(list(report.get("events", ()))[:remaining])  # type: ignore[arg-type]
+        window = tuple(report.get("window", ()))  # type: ignore[arg-type]
+        for dead in report.get("dead_units", ()):  # type: ignore[union-attr]
+            dead_window = tuple(dead.get("window", window))
+            key = (dead_window, dead.get("unit_index"), str(dead.get("last_error")))
+            if key in seen_dead:
+                continue
+            seen_dead.add(key)
+            if dead_window and "window" not in dead:
+                # Stamp the source window onto the entry itself, so a
+                # combined report folded again later (cache extension
+                # upon cache extension) still distinguishes rounds.
+                dead = dict(dead)
+                dead["window"] = list(dead_window)
+            total.dead_units.append(dead)
+        for event in report.get("events", ()):  # type: ignore[union-attr]
+            event_window = tuple(event.get("window", window))
+            key = (
+                event_window,
+                event.get("unit"),
+                event.get("attempt"),
+                event.get("kind"),
+            )
+            if key in seen_events:
+                continue
+            seen_events.add(key)
+            if event_window and "window" not in event:
+                event = dict(event)
+                event["window"] = list(event_window)
+            if len(total.events) < _EVENT_CAP:
+                total.events.append(event)
     return total.to_dict()
 
 
@@ -522,6 +588,13 @@ class _Supervisor:
         self.done[unit] = True
         self.num_done += 1
         self.report.completed += 1
+        _emit(
+            "unit_completed",
+            unit=unit,
+            attempt=attempt,
+            completed=self.num_done,
+            units=len(self.units),
+        )
 
     def _handle_pool_break(self, broken: Sequence[Tuple[int, int, float]]) -> None:
         # ``broken`` carries the entries whose futures already raised
@@ -684,6 +757,13 @@ def _run_inline(
                         report.delays += 1
                     results[index] = envelope.payload
                     report.completed += 1
+                    _emit(
+                        "unit_completed",
+                        unit=index,
+                        attempt=attempt,
+                        completed=report.completed,
+                        units=len(units),
+                    )
                     break
             failures += 1
             if failures > policy.max_retries:

@@ -66,6 +66,32 @@ __all__ = [
     "trial_allocation",
 ]
 
+_events_mod = None
+
+
+def _emit(kind: str, **fields: object) -> None:
+    """Publish a progress event on the service bus, if anyone listens.
+
+    Lazy import for the same reason as the scheduler's hook: the
+    service layer imports the study layer, not the other way around.
+    """
+    global _events_mod
+    if _events_mod is None:
+        from repro.service import events as _events
+
+        _events_mod = _events
+    _events_mod.emit(kind, **fields)
+
+
+def _open_cells(active: ActiveMap, plans) -> set:
+    """The ``(group, size, ring, scenario, curve)`` cells still open."""
+    cells = set()
+    for (gi, si, ri), sel in active.items():
+        for scenario, chosen in zip(plans[gi].scenarios, sel):
+            for ci in chosen:
+                cells.add((gi, si, ri, scenario.name, ci))
+    return cells
+
 
 def mean_standard_error(series: np.ndarray) -> float:
     """Standard error of the mean, ``s / sqrt(n)`` (sample std, ddof=1).
@@ -338,9 +364,20 @@ def run_adaptive_study(
         plans = group.compile()  # round-invariant; compiled once per family
         total = members[0].trials
         block = policy.block_trials or members[0].trials
-        while total < policy.max_trials:
+        prev_open: Optional[set] = None
+        while True:
             active = _active_columns(plans, acc, policy)
-            if not active:
+            open_now = _open_cells(active, plans)
+            if prev_open is not None and prev_open - open_now:
+                converged = sorted(prev_open - open_now)
+                _emit(
+                    "cell_converged",
+                    count=len(converged),
+                    cells=[list(c) for c in converged[:20]],
+                    trials=total,
+                )
+            prev_open = open_now
+            if not active or total >= policy.max_trials:
                 break
             stop = min(total + block, policy.max_trials)
             shard = group.run_extension(
@@ -360,7 +397,21 @@ def run_adaptive_study(
                     ),
                 }
             )
+            _emit(
+                "adaptive_round",
+                scenarios=[m.name for m in members],
+                window=[total, stop],
+                open_cells=len(open_now),
+            )
             total = stop
+        if prev_open:
+            # Cells still open at the cap: the cap, not convergence,
+            # stopped them; downstream consumers can tell the difference.
+            _emit(
+                "adaptive_capped",
+                count=len(prev_open),
+                max_trials=policy.max_trials,
+            )
 
     result = StudyResult(
         results=tuple(acc[s.name] for s in study.scenarios),

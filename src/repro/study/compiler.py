@@ -384,13 +384,19 @@ class Study:
             "workers": effective,
             "kernel_backends": sorted({p.kernel_backend for p in plans}),
             "groups": [self._group_provenance(plan) for plan in plans],
+            "units": len(blocks),
             "deployments": int(
                 sum(p.num_sizes * p.num_rings * p.trials for p in plans)
             ),
         }
         if policy is not None and report is not None:
             provenance["scheduler"] = policy.to_dict()
-            provenance["faults"] = report.to_dict()
+            # The window stamp qualifies per-round positional unit
+            # indices when reports from several rounds/shards are folded
+            # (see combine_fault_reports).
+            faults = report.to_dict()
+            faults["window"] = [0, max((p.trials for p in plans), default=0)]
+            provenance["faults"] = faults
         return StudyResult(
             results=tuple(by_name[s.name] for s in self.scenarios),
             provenance=provenance,
@@ -504,11 +510,14 @@ class Study:
             "workers": effective,
             "kernel_backends": sorted({p.kernel_backend for p in plans}),
             "trial_window": [trial_start, trial_stop],
+            "units": len(blocks),
             "deployments": int(len(scheduled) * span),
         }
         if policy is not None and report is not None:
             provenance["scheduler"] = policy.to_dict()
-            provenance["faults"] = report.to_dict()
+            faults = report.to_dict()
+            faults["window"] = [trial_start, trial_stop]
+            provenance["faults"] = faults
         return StudyResult(
             results=tuple(by_name[s.name] for s in self.scenarios),
             provenance=provenance,

@@ -42,12 +42,20 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ShardMismatchError
 from repro.simulation.estimators import BernoulliEstimate
 from repro.study.scenario import Curve, Scenario
 from repro.utils.tables import format_table
 
 __all__ = ["ScenarioResult", "StudyResult", "render_study_result"]
+
+
+def _library_version() -> str:
+    # Imported lazily: repro/__init__ must stay importable before its
+    # submodules finish loading.
+    import repro
+
+    return str(getattr(repro, "__version__", "unknown"))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -131,11 +139,14 @@ class ScenarioResult:
             and getattr(self.scenario, field.name)
             != getattr(other.scenario, field.name)
         ]
-        if diffs:
-            raise ExperimentError(
+        if diffs or self.scenario.content_hash() != other.scenario.content_hash():
+            mine = self.scenario.content_hash()[:12]
+            theirs = other.scenario.content_hash()[:12]
+            raise ShardMismatchError(
                 f"cannot merge results of mismatched scenarios "
                 f"{self.scenario.name!r} / {other.scenario.name!r}: "
-                f"fields {diffs} differ"
+                f"fields {diffs} differ "
+                f"(content hashes {mine} vs {theirs})"
             )
         if self.metric_labels != other.metric_labels:
             raise ExperimentError(
@@ -170,6 +181,87 @@ class ScenarioResult:
             values=np.concatenate((first.values, second.values), axis=-3),
             metric_labels=self.metric_labels,
             trial_offset=first.trial_offset,
+        )
+
+    def overlay(self, other: "ScenarioResult") -> "ScenarioResult":
+        """Fold another shard of the *same* trial window into this one.
+
+        The complement of :meth:`merge`: merge joins disjoint trial
+        windows, overlay joins disjoint *cells* of one window.  Size- or
+        column-axis shards each evaluate a subset of cells over the full
+        window (the rest hold NaN); overlaying them fills each NaN slot
+        from whichever shard evaluated it.  Cells both shards evaluated
+        must agree bit-for-bit — deployments are seeded by absolute
+        trial index, so any disagreement means the shards did not come
+        from the same deterministic stream.
+        """
+        if not isinstance(other, ScenarioResult):
+            raise ExperimentError(
+                f"can only overlay ScenarioResult, got {type(other).__name__}"
+            )
+        if (
+            self.scenario.content_hash() != other.scenario.content_hash()
+            or self.scenario.trials != other.scenario.trials
+        ):
+            raise ShardMismatchError(
+                f"cannot overlay results of mismatched scenarios "
+                f"{self.scenario.name!r} / {other.scenario.name!r} "
+                f"(content hashes {self.scenario.content_hash()[:12]} vs "
+                f"{other.scenario.content_hash()[:12]})"
+            )
+        if self.metric_labels != other.metric_labels:
+            raise ExperimentError(
+                f"cannot overlay: metric labels differ "
+                f"({self.metric_labels} vs {other.metric_labels})"
+            )
+        if self.trial_offset != other.trial_offset or (
+            self.values.shape != other.values.shape
+        ):
+            raise ExperimentError(
+                f"cannot overlay: trial windows differ "
+                f"({self.trial_range} shape {self.values.shape} vs "
+                f"{other.trial_range} shape {other.values.shape}); "
+                f"use merge() for adjacent windows"
+            )
+        mine_nan = np.isnan(self.values)
+        theirs_nan = np.isnan(other.values)
+        both = ~mine_nan & ~theirs_nan
+        if both.any() and not np.array_equal(
+            self.values[both], other.values[both]
+        ):
+            raise ExperimentError(
+                f"cannot overlay: {int(both.sum())} cells evaluated by both "
+                f"shards of scenario {self.scenario.name!r} disagree"
+            )
+        return ScenarioResult(
+            scenario=self.scenario,
+            values=np.where(mine_nan, other.values, self.values),
+            metric_labels=self.metric_labels,
+            trial_offset=self.trial_offset,
+        )
+
+    def truncated(self, trials: int) -> "ScenarioResult":
+        """The first *trials* trial slots of this result's window.
+
+        Used by the result cache to answer a t-trial query from a
+        stored result covering more: slots are addressed by absolute
+        trial index, so a prefix of the stored tensor is bit-identical
+        to what a fresh ``trials=t`` run would produce.
+        """
+        if not isinstance(trials, int) or isinstance(trials, bool):
+            raise ExperimentError(f"trials must be an int, got {trials!r}")
+        if not 0 < trials <= self.num_trials:
+            raise ExperimentError(
+                f"cannot truncate {self.num_trials}-trial window of scenario "
+                f"{self.scenario.name!r} to {trials} trials"
+            )
+        if trials == self.num_trials:
+            return self
+        return ScenarioResult(
+            scenario=self.scenario.with_trials(trials),
+            values=np.ascontiguousarray(self.values[..., :trials, :, :]),
+            metric_labels=self.metric_labels,
+            trial_offset=self.trial_offset,
         )
 
     # -- index helpers -------------------------------------------------
@@ -390,6 +482,8 @@ class ScenarioResult:
         )
         out: Dict[str, object] = {
             "scenario": self.scenario.to_dict(),
+            "scenario_hash": self.scenario.content_hash(),
+            "version": _library_version(),
             "metric_labels": list(self.metric_labels),
             "values": values.tolist(),
         }
@@ -399,8 +493,17 @@ class ScenarioResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        scenario = Scenario.from_dict(data["scenario"])  # type: ignore[arg-type]
+        embedded = data.get("scenario_hash")
+        if embedded is not None and embedded != scenario.content_hash():
+            raise ShardMismatchError(
+                f"shard for scenario {scenario.name!r} embeds content hash "
+                f"{str(embedded)[:12]} but its scenario hashes to "
+                f"{scenario.content_hash()[:12]}; the payload was edited or "
+                f"mixed up in transport"
+            )
         return cls(
-            scenario=Scenario.from_dict(data["scenario"]),  # type: ignore[arg-type]
+            scenario=scenario,
             values=np.asarray(data["values"], dtype=np.float64),
             metric_labels=tuple(data["metric_labels"]),  # type: ignore[arg-type]
             trial_offset=int(data.get("trial_offset", 0)),  # type: ignore[arg-type]
@@ -468,6 +571,10 @@ class StudyResult:
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "StudyResult":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
 
 
 def render_study_result(result: StudyResult) -> str:

@@ -34,6 +34,7 @@ ring_index, trial))``; plain (un-sized) scenarios keep the established
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import math
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
@@ -566,6 +567,32 @@ class Scenario:
         checking.  Revalidates on construction like any scenario.
         """
         return dataclasses.replace(self, trials=trials)
+
+    def canonical_json(self, *, include_trials: bool = True) -> str:
+        """Stable JSON normal form of this scenario.
+
+        Sorted keys, compact separators, no whitespace variance — two
+        scenarios serialize identically iff their :meth:`to_dict` forms
+        are equal.  With ``include_trials=False`` the ``trials`` field is
+        dropped, yielding the *family* form shared by every trial-window
+        shard and extension of the same experiment (see
+        :meth:`with_trials` for why trials is the one excluded axis).
+        """
+        data = self.to_dict()
+        if not include_trials:
+            data.pop("trials", None)
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """sha256 hex digest of the trials-excluded canonical JSON form.
+
+        This is the content address used by the result cache and shard
+        transport: every shard, extension, and merged union of the same
+        experiment shares one hash, while any other field difference
+        (seed, curves, metrics, grid, ...) produces a different one.
+        """
+        payload = self.canonical_json(include_trials=False)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @property
     def needs_capture(self) -> bool:

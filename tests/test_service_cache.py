@@ -1,0 +1,261 @@
+"""Content-addressed cache: cold/warm/extension bit-identity.
+
+The contract: whatever the cache holds, ``run_cached`` returns values
+bit-identical to a cold one-shot run — a hit truncates absolute-indexed
+trial slots, an extension reruns only the identically-seeded missing
+window, and fault reports from stored and delta runs fold without
+double-counting.  Exercised with the warm pool on and off and with
+chaos injection active, mirroring the PR 6 convergence proofs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.service.cache import CACHE_FORMAT, CacheEntry, ResultCache, run_cached
+from repro.service import events
+from repro.simulation.faults import ChaosSpec, FaultStrategy
+from repro.simulation.scheduler import SchedulerPolicy, combine_fault_reports
+from repro.study.compiler import Study
+from repro.study.scenario import MetricSpec, Scenario
+
+WORKERS = 2
+
+
+def _scenario(trials=6):
+    return Scenario(
+        name="cached",
+        num_nodes_grid=(30, 40),
+        pool_size=300,
+        ring_sizes=(12, 15),
+        curves=((2, 0.6), (2, 1.0)),
+        trials=trials,
+        seed=11,
+        metrics=(MetricSpec("connectivity"),),
+    )
+
+
+def _chaos_policy():
+    spec = ChaosSpec(
+        seed=5,
+        strategies=(
+            FaultStrategy(kind="crash", probability=0.9, max_attempt=2),
+        ),
+    )
+    return SchedulerPolicy(max_retries=4, backoff_base=0.01, chaos=spec)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.mark.parametrize("persistent", ["0", "1"])
+class TestDispositionsBitIdentical:
+    """Cold → warm → extension, pool off and on, always exact."""
+
+    def test_cold_warm_extension(self, cache, persistent, monkeypatch):
+        monkeypatch.setenv("REPRO_PERSISTENT_POOL", persistent)
+        study = Study((_scenario(),))
+        baseline = study.run(workers=WORKERS)
+
+        cold = run_cached(study, cache, workers=WORKERS)
+        assert cold.provenance["cache"]["disposition"] == "miss"
+        assert cold.provenance["cache"]["executed_units"] > 0
+        assert np.array_equal(baseline["cached"].values, cold["cached"].values)
+
+        warm = run_cached(study, cache, workers=WORKERS)
+        assert warm.provenance["cache"]["disposition"] == "hit"
+        assert warm.provenance["cache"]["executed_units"] == 0
+        assert warm.provenance["units"] == 0
+        assert np.array_equal(baseline["cached"].values, warm["cached"].values)
+
+        extended = Study((_scenario(trials=10),))
+        base_ext = extended.run(workers=WORKERS)
+        ext = run_cached(extended, cache, workers=WORKERS)
+        info = ext.provenance["cache"]
+        assert info["disposition"] == "extension"
+        assert info["delta_window"] == [6, 10]
+        # Only the delta window executed: work units still span every
+        # grid column, but the deployments they computed cover only the
+        # 4-trial delta, not the full 10.
+        assert info["executed_units"] == ext.provenance["units"] > 0
+        assert ext.provenance["deployments"] < base_ext.provenance["deployments"]
+        assert np.array_equal(base_ext["cached"].values, ext["cached"].values)
+
+        # The extension stored back: the original request now truncates.
+        trunc = run_cached(study, cache, workers=WORKERS)
+        assert trunc.provenance["cache"]["disposition"] == "hit"
+        assert np.array_equal(baseline["cached"].values, trunc["cached"].values)
+
+    def test_chaos_runs_hit_the_same_cache(self, cache, persistent, monkeypatch):
+        monkeypatch.setenv("REPRO_PERSISTENT_POOL", persistent)
+        study = Study((_scenario(),))
+        baseline = study.run(workers=WORKERS)
+
+        cold = run_cached(study, cache, workers=WORKERS, scheduler=_chaos_policy())
+        assert cold.provenance["cache"]["disposition"] == "miss"
+        assert cold.provenance["faults"]["crashes"] > 0
+        assert np.array_equal(baseline["cached"].values, cold["cached"].values)
+
+        extended = Study((_scenario(trials=10),))
+        base_ext = extended.run(workers=WORKERS)
+        ext = run_cached(
+            extended, cache, workers=WORKERS, scheduler=_chaos_policy()
+        )
+        assert ext.provenance["cache"]["disposition"] == "extension"
+        assert np.array_equal(base_ext["cached"].values, ext["cached"].values)
+
+
+class TestFaultDedup:
+    def test_extension_does_not_double_count_stored_faults(self, cache):
+        study = Study((_scenario(),))
+        cold = run_cached(study, cache, workers=WORKERS, scheduler=_chaos_policy())
+        cold_faults = cold.provenance["faults"]
+
+        extended = Study((_scenario(trials=10),))
+        ext = run_cached(
+            extended, cache, workers=WORKERS, scheduler=_chaos_policy()
+        )
+        ext_faults = ext.provenance["faults"]
+        # The stored report rides along exactly once; the delta round
+        # adds its own on top.  A double-count would at least double
+        # the cold attempt total.
+        assert ext_faults["attempts"] > cold_faults["attempts"]
+        assert ext_faults["attempts"] < 2 * cold_faults["attempts"] + 1
+
+        # Re-requesting the extended study is a pure hit: the folded
+        # report comes back unchanged from the store, not re-summed.
+        again = run_cached(extended, cache, workers=WORKERS)
+        assert again.provenance["cache"]["disposition"] == "hit"
+        assert again.provenance["faults"]["attempts"] == ext_faults["attempts"]
+
+    def test_combine_is_idempotent_on_duplicates(self):
+        report = {
+            "units": 2,
+            "attempts": 3,
+            "completed": 2,
+            "crashes": 1,
+            "window": [0, 6],
+            "events": [
+                {"unit": 0, "attempt": 0, "kind": "crash", "detail": "boom"}
+            ],
+            "dead_units": [],
+        }
+        twice = combine_fault_reports([report, json.loads(json.dumps(report))])
+        assert twice["attempts"] == 3
+        assert twice["crashes"] == 1
+        assert len(twice["events"]) == 1
+
+    def test_distinct_windows_both_survive(self):
+        base = {
+            "units": 1,
+            "attempts": 1,
+            "completed": 1,
+            "events": [{"unit": 0, "attempt": 0, "kind": "crash"}],
+            "dead_units": [],
+        }
+        first = dict(base, window=[0, 6])
+        second = dict(base, window=[6, 10])
+        combined = combine_fault_reports([first, second])
+        # Same (unit, attempt, kind) in different trial windows are
+        # genuinely different events.
+        assert combined["attempts"] == 2
+        assert len(combined["events"]) == 2
+        # The service folds folded reports: a stored combined report
+        # re-entering the fold verbatim stays fully deduplicated, and
+        # even a constituent resurfacing cannot duplicate its events
+        # (they carry their window stamps).
+        refolded = combine_fault_reports([combined, json.loads(json.dumps(combined))])
+        assert refolded["attempts"] == 2
+        assert len(refolded["events"]) == 2
+        with_constituent = combine_fault_reports([combined, first])
+        assert len(with_constituent["events"]) == 2
+
+
+class TestStorePolicy:
+    def test_store_rejects_partial_results(self, cache):
+        study = Study((_scenario(),))
+        result = study.run(workers=WORKERS)["cached"]
+        holed = result.values.copy()
+        holed[0, 0, 0, 0, 0] = np.nan
+        assert cache.store(dataclasses.replace(result, values=holed)) is False
+        assert cache.lookup(result.scenario) is None
+
+    def test_store_rejects_window_shards(self, cache):
+        study = Study((_scenario(),))
+        shard = study.run_extension(2, 4, workers=WORKERS)["cached"]
+        assert shard.trial_offset == 2
+        assert cache.store(shard) is False
+
+    def test_store_keeps_the_widest_result(self, cache):
+        wide = Study((_scenario(trials=10),)).run(workers=WORKERS)["cached"]
+        narrow = Study((_scenario(trials=4),)).run(workers=WORKERS)["cached"]
+        assert cache.store(wide) is True
+        assert cache.store(narrow) is False  # does not regress coverage
+        entry = cache.lookup(wide.scenario)
+        assert isinstance(entry, CacheEntry) and entry.trials == 10
+
+    def test_lookup_survives_corrupt_entries(self, cache):
+        scenario = _scenario()
+        key = scenario.content_hash()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ not json")
+        assert cache.lookup(scenario) is None
+        path.write_text(json.dumps({"format": "wrong/v9", "scenario_hash": key}))
+        assert cache.lookup(scenario) is None
+        path.write_text(
+            json.dumps({"format": CACHE_FORMAT, "scenario_hash": "0" * 64})
+        )
+        assert cache.lookup(scenario) is None
+
+
+class TestBypass:
+    def test_mixed_trial_counts_bypass(self, cache):
+        study = Study(
+            (
+                _scenario(trials=4),
+                dataclasses.replace(_scenario(trials=6), name="other"),
+            )
+        )
+        result = run_cached(study, cache, workers=WORKERS)
+        assert result.provenance["cache"]["disposition"] == "bypass"
+        assert cache.lookup(study.scenarios[0]) is None
+
+    def test_protocol_scenarios_bypass(self, cache):
+        protocol = Scenario(
+            name="proto",
+            kind="protocol",
+            num_nodes=30,
+            pool_size=200,
+            trials=2,
+            seed=3,
+            protocol="coupling",
+            protocol_params={"key_ring_size": 12, "q": 1},
+        )
+        result = run_cached(Study((protocol,)), cache, workers=1)
+        assert result.provenance["cache"]["disposition"] == "bypass"
+
+    def test_rejects_non_cache(self):
+        with pytest.raises(ParameterError, match="ResultCache"):
+            run_cached(Study((_scenario(),)), cache="/tmp/nope", workers=1)
+
+
+class TestCacheEvents:
+    def test_dispositions_emit(self, cache):
+        study = Study((_scenario(),))
+        with events.capture_events(
+            kinds=("cache_miss", "cache_hit", "cache_extension")
+        ) as captured:
+            run_cached(study, cache, workers=WORKERS)
+            run_cached(study, cache, workers=WORKERS)
+            run_cached(Study((_scenario(trials=8),)), cache, workers=WORKERS)
+        kinds = [event.kind for event in captured]
+        assert kinds == ["cache_miss", "cache_hit", "cache_extension"]
+        assert captured[2].fields["delta_window"] == [6, 8]
