@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from benchmarks.conftest import emit, run_once
 from repro.core.design import minimal_key_ring_size

@@ -1,11 +1,30 @@
-"""Legacy build shim.
+"""Package metadata and the ``repro`` console entry point.
 
-Environments without the ``wheel`` package cannot run PEP 517 editable
-builds; keeping this stub (and no ``[build-system]`` table in
-``pyproject.toml``) lets ``pip install -e .`` fall back to the classic
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+Metadata lives here rather than in ``pyproject.toml`` (which carries
+tool configuration only — ruff, mypy) so that offline environments
+without the ``wheel`` package can still install editably via the
+classic ``python setup.py develop`` path; ``pip install -e .`` works
+wherever pip can provision its isolated PEP 517 build environment.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-wsn-connectivity",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Secure Connectivity of WSNs Under Key "
+        "Predistribution with on/off Channels' (ICDCS 2017)"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,150 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline entry matches findings by ``(rule, path, content hash of the
+stripped source line)`` plus an occurrence budget (``count``), so
+unrelated edits — adding lines above, reformatting elsewhere — never
+invalidate entries, while editing or duplicating the offending line
+does resurface the finding.  Every entry carries a *required*
+``justification``: the baseline is a ledger of intentional exceptions,
+not a mute button.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.registry import Finding
+from repro.exceptions import AnalysisError
+
+__all__ = ["Baseline", "BaselineEntry", "finding_hash", "BASELINE_FORMAT"]
+
+BASELINE_FORMAT = "repro-lint-baseline/v1"
+
+
+def finding_hash(finding: Finding) -> str:
+    """Content hash identifying a finding independent of line numbers."""
+    payload = f"{finding.rule}\x1f{finding.path}\x1f{finding.snippet}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    hash: str
+    justification: str
+    count: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "hash": self.hash,
+            "justification": self.justification,
+            "count": self.count,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "Baseline":
+        path = pathlib.Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline {path} is not valid JSON: {exc}")
+        if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+            raise AnalysisError(
+                f"baseline {path} is not a {BASELINE_FORMAT!r} document"
+            )
+        entries: List[BaselineEntry] = []
+        for raw in data.get("entries", ()):
+            if not isinstance(raw, dict):
+                raise AnalysisError(f"baseline {path}: entry {raw!r} is not an object")
+            missing = {"rule", "path", "hash", "justification"} - set(raw)
+            if missing:
+                raise AnalysisError(
+                    f"baseline {path}: entry {raw.get('rule')}/{raw.get('path')} "
+                    f"is missing {sorted(missing)}"
+                )
+            justification = str(raw["justification"]).strip()
+            if not justification:
+                raise AnalysisError(
+                    f"baseline {path}: entry {raw['rule']} at {raw['path']} has "
+                    "an empty justification — baselines require one"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    hash=str(raw["hash"]),
+                    justification=justification,
+                    count=max(1, int(raw.get("count", 1))),
+                )
+            )
+        return cls(entries=entries)
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        path = pathlib.Path(path)
+        document = {
+            "format": BASELINE_FORMAT,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.hash)
+                )
+            ],
+        }
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], justification: str
+    ) -> "Baseline":
+        """Grandfather *findings* wholesale (``--write-baseline``)."""
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = (finding.rule, finding.path, finding_hash(finding))
+            budget[key] = budget.get(key, 0) + 1
+        return cls(
+            entries=[
+                BaselineEntry(
+                    rule=rule, path=path, hash=digest,
+                    justification=justification, count=count,
+                )
+                for (rule, path, digest), count in budget.items()
+            ]
+        )
+
+    def split(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition *findings* into (active, baselined).
+
+        Each entry absorbs at most ``count`` matching findings; any
+        surplus stays active, so duplicating a grandfathered line is a
+        fresh finding.
+        """
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            key = (entry.rule, entry.path, entry.hash)
+            budget[key] = budget.get(key, 0) + entry.count
+        active: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding_hash(finding))
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                matched.append(finding)
+            else:
+                active.append(finding)
+        return active, matched

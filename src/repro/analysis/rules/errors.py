@@ -1,0 +1,73 @@
+"""R006: typed exceptions only on supervised execution paths.
+
+The fault-tolerant scheduler, the shard transports, and the study/CLI
+boundaries all classify failures by exception type (retryable unit
+failures, shard mismatches, parameter errors rendered without a
+traceback).  A bare ``raise ValueError`` in ``simulation/``, ``study/``
+or ``service/`` bypasses that classification: it crosses process
+boundaries as an anonymous failure the supervisor can only treat as a
+crash.  Raise the typed hierarchy from :mod:`repro.exceptions` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.astutil import ImportMap, attr_chain
+from repro.analysis.registry import Finding, ModuleInfo, Rule, register_rule
+
+__all__ = ["TypedExceptions"]
+
+
+@register_rule
+class TypedExceptions(Rule):
+    id = "R006"
+    name = "typed-exceptions"
+    severity = "error"
+    description = (
+        "supervised paths (simulation/, study/, service/) raise only "
+        "typed exceptions from repro.exceptions, never bare "
+        "Exception/ValueError"
+    )
+    default_config = {
+        "packages": ["simulation", "study", "service"],
+        "banned": [
+            "Exception",
+            "BaseException",
+            "ValueError",
+            "RuntimeError",
+            "KeyError",
+            "IndexError",
+            "ArithmeticError",
+            "OSError",
+        ],
+    }
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_packages(self.config["packages"]):
+            return []
+        findings: List[Finding] = []
+        imports = ImportMap(module.tree)
+        banned = set(self.config["banned"])
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = attr_chain(exc)
+            if name is None:
+                continue
+            resolved = imports.resolve(exc) or name
+            # `raise exc` re-raises a caught variable: out of scope.
+            if name in banned and resolved in banned:
+                findings.append(
+                    module.finding(
+                        self, node,
+                        f"bare `raise {name}` on a supervised path; raise "
+                        "a typed exception from repro.exceptions so the "
+                        "scheduler/CLI can classify the failure",
+                    )
+                )
+        return findings

@@ -1,0 +1,190 @@
+"""R007: result-altering CLI flags must flow into provenance.
+
+A result nobody can re-derive is not reproducible: every CLI flag that
+changes *what* gets computed must leave a trace in the study
+provenance (or be part of the scenario payload that the result embeds
+wholesale).  This rule is cross-file: it collects every
+``add_argument`` in the analyzed tree and every ``provenance[...]``
+write, then demands that each flag be classified — mapped to a
+provenance key that some module actually writes, declared
+scenario-recorded (seed/trials/--set land inside the serialized
+scenario itself), or declared operational (cannot alter results).
+
+An *unclassified* flag is a finding: adding a new result-altering
+option forces a conscious decision about its provenance story before
+the gate goes green.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.registry import Finding, ModuleInfo, Project, Rule, register_rule
+
+__all__ = ["ProvenanceCompleteness"]
+
+
+@register_rule
+class ProvenanceCompleteness(Rule):
+    id = "R007"
+    name = "provenance-completeness"
+    severity = "error"
+    description = (
+        "every CLI flag that can alter results must map to a provenance "
+        "key some module writes (or be declared scenario-recorded/"
+        "operational in the rule config)"
+    )
+    default_config = {
+        # dest -> provenance key that must be written somewhere.
+        "provenance_flags": {
+            "kernel_backend": "kernel_backends",
+            "workers": "workers",
+            "target_ci": "adaptive",
+            "max_trials": "adaptive",
+            "block_trials": "adaptive",
+            "chaos": "faults",
+            "max_retries": "scheduler",
+            "unit_timeout": "scheduler",
+            "speculate_after": "scheduler",
+            "cache": "cache",
+            "transport": "transport",
+            "shards": "shards",
+            "shard_axis": "shard_axis",
+        },
+        # Recorded inside the result payload by construction: these
+        # rewrite scenario fields, and ScenarioResult.to_dict embeds
+        # the full scenario (seed, trials, overrides included).
+        "scenario_flags": ["seed", "trials", "overrides"],
+        # Cannot alter result values: I/O locations, rendering, service
+        # plumbing, and the linter's own flags.
+        "operational_flags": [
+            "save", "backend", "file", "name", "shard", "job", "output",
+            "spool", "wait", "timeout", "events", "max_concurrent",
+            "max_jobs", "idle_timeout",
+            "paths", "select", "ignore", "format", "baseline",
+            "no_baseline", "write_baseline", "list_rules", "verbose",
+            "severity", "justification",
+        ],
+    }
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        flags: List[Tuple[ModuleInfo, ast.Call, str]] = []
+        written: Set[str] = set()
+        for module in project:
+            flags.extend(
+                (module, call, dest)
+                for call, dest in self._iter_flags(module)
+            )
+            written |= self._provenance_keys(module)
+
+        provenance_flags: Dict[str, str] = dict(self.config["provenance_flags"])
+        scenario_flags = set(self.config["scenario_flags"])
+        operational = set(self.config["operational_flags"])
+
+        findings: List[Finding] = []
+        for module, call, dest in flags:
+            if dest in scenario_flags or dest in operational:
+                continue
+            key = provenance_flags.get(dest)
+            if key is None:
+                findings.append(
+                    module.finding(
+                        self, call,
+                        f"CLI flag (dest `{dest}`) is unclassified: map it "
+                        "to a provenance key in the R007 config, or "
+                        "declare it scenario-recorded/operational",
+                    )
+                )
+            elif key not in written:
+                findings.append(
+                    module.finding(
+                        self, call,
+                        f"CLI flag (dest `{dest}`) promises provenance key "
+                        f"`{key}`, but no analyzed module writes "
+                        f"provenance[{key!r}]",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _iter_flags(module: ModuleInfo):
+        """(call node, dest) for each argparse ``add_argument`` call."""
+        for node in ast.walk(module.tree):
+            if (
+                not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr != "add_argument"
+            ):
+                continue
+            dest = None
+            for keyword in node.keywords:
+                if keyword.arg == "dest" and isinstance(
+                    keyword.value, ast.Constant
+                ):
+                    dest = str(keyword.value.value)
+            if dest is None:
+                options = [
+                    arg.value
+                    for arg in node.args
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                ]
+                longs = [opt for opt in options if opt.startswith("--")]
+                if longs:
+                    dest = longs[0].lstrip("-").replace("-", "_")
+                elif options and not options[0].startswith("-"):
+                    dest = options[0].replace("-", "_")
+            if dest is not None:
+                yield node, dest
+
+    @staticmethod
+    def _provenance_keys(module: ModuleInfo) -> Set[str]:
+        """Constant keys written to a ``provenance`` mapping."""
+        keys: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                value = node.value
+                for target in targets:
+                    # provenance["key"] = ...
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and _is_provenance(target.value)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        keys.add(target.slice.value)
+                    # provenance = {"key": ..., ...}
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id == "provenance"
+                        and isinstance(value, ast.Dict)
+                    ):
+                        keys.update(
+                            key.value
+                            for key in value.keys
+                            if isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                        )
+            elif isinstance(node, ast.Call):
+                # provenance.setdefault("key", ...)
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "setdefault"
+                    and _is_provenance(node.func.value)
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    keys.add(node.args[0].value)
+        return keys
+
+
+def _is_provenance(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "provenance"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "provenance"
+    return False

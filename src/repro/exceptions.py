@@ -130,6 +130,15 @@ class TransportError(ReproError):
     """
 
 
+class AnalysisError(ReproError):
+    """The static-analysis linter was misconfigured or could not run.
+
+    Raised by :mod:`repro.analysis` for unknown rule ids, malformed
+    baseline files, and invalid rule registrations — never for findings
+    in analyzed code, which are reported, not raised.
+    """
+
+
 class DeadUnitError(SchedulerError):
     """Work units exhausted their retry budget and were quarantined.
 

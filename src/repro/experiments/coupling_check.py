@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.keygraphs.binomial_graph import coupled_ring_pair
 from repro.keygraphs.uniform_graph import edges_from_rings
-from repro.params import QCompositeParams
 from repro.probability.couplings import (
     binomial_key_probability,
     coupled_er_probability,

@@ -19,7 +19,6 @@ from repro.exceptions import ParameterError
 from repro.params import QCompositeParams
 from repro.probability.limits import limit_probability
 from repro.simulation.engine import trials_from_env
-from repro.simulation.estimators import BernoulliEstimate
 from repro.simulation.results import CurvePoint, ExperimentResult
 from repro.simulation.runners import estimate_agreement
 from repro.study import MetricSpec, Scenario, Study

@@ -8,7 +8,7 @@ factors low.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Set
 
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import is_connected

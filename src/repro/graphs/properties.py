@@ -8,7 +8,6 @@ arrays (the Monte Carlo fast path).
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 

@@ -27,11 +27,12 @@ exploration) can run without touching Python object graphs.
 from __future__ import annotations
 
 import abc
-from typing import Tuple
+import inspect
+from typing import Dict, List, Tuple, Type, Union
 
 import numpy as np
 
-__all__ = ["KernelBackend"]
+__all__ = ["KernelBackend", "kernel_contracts", "verify_backend_contract"]
 
 
 class KernelBackend(abc.ABC):
@@ -118,3 +119,60 @@ class KernelBackend(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<KernelBackend {self.name}>"
+
+
+def _signature_names(fn) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(positional names incl. self, keyword-only names) of *fn*."""
+    positional: List[str] = []
+    kwonly: List[str] = []
+    for param in inspect.signature(fn).parameters.values():
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional.append(param.name)
+        elif param.kind is inspect.Parameter.KEYWORD_ONLY:
+            kwonly.append(param.name)
+    return tuple(positional), tuple(kwonly)
+
+
+def kernel_contracts() -> Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """The live contract table: abstract kernel method → parameter names.
+
+    One source of truth for every consumer that needs to know "what
+    must a backend implement": the ``repro kernels`` probe validates
+    loaded backends against it, and the R004 lint rule
+    (:mod:`repro.analysis.rules.structure`) checks backend *source*
+    against it — so neither can drift from the ABC.
+    """
+    return {
+        name: _signature_names(getattr(KernelBackend, name))
+        for name in sorted(KernelBackend.__abstractmethods__)
+    }
+
+
+def verify_backend_contract(
+    backend: Union[KernelBackend, Type[KernelBackend]],
+) -> List[str]:
+    """Check *backend* against the kernel contracts; return problems.
+
+    An empty list means the backend implements every contract with
+    parameter names matching the ABC exactly (keyword call sites across
+    the dispatch seam rely on the names, not just the arity).  Used by
+    the ``repro kernels`` probe so a misdeclared backend fails its
+    probe instead of failing deep inside a sweep.
+    """
+    cls = backend if isinstance(backend, type) else type(backend)
+    problems: List[str] = []
+    for name, (positional, kwonly) in kernel_contracts().items():
+        impl = getattr(cls, name, None)
+        if impl is None or getattr(impl, "__isabstractmethod__", False):
+            problems.append(f"missing kernel contract {name!r}")
+            continue
+        got_pos, got_kw = _signature_names(impl)
+        if got_pos != positional or got_kw != kwonly:
+            problems.append(
+                f"{name!r} signature {got_pos + got_kw} does not match "
+                f"the contract {positional + kwonly}"
+            )
+    return problems

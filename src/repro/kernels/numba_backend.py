@@ -28,7 +28,6 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import KernelError
-from repro.kernels.base import KernelBackend
 from repro.kernels.reference import ReferenceBackend
 
 __all__ = ["NumbaBackend", "make_backend", "numba_available"]

@@ -19,6 +19,7 @@ from repro.kernels import (
     available_backends,
     get_backend,
 )
+from repro.kernels.base import verify_backend_contract
 
 __all__ = ["probe_backend", "probe_backends", "render_probes"]
 
@@ -81,6 +82,14 @@ def probe_backend(name: str) -> Dict[str, object]:
         n, edges, node_ids, key_ids, kedges, gn = _probe_inputs()
         checks: Dict[str, bool] = {}
         micro: Dict[str, float] = {}
+
+        # Contract conformance first: a backend whose kernel signatures
+        # drift from the ABC fails its probe with the mismatch named,
+        # instead of failing at a keyword call site mid-sweep.
+        contract_problems = verify_backend_contract(backend)
+        checks["contract"] = not contract_problems
+        if contract_problems:
+            info["reason"] = "; ".join(contract_problems)
 
         labels = backend.min_label_components(n, edges[:, 0], edges[:, 1])
         expected = reference.min_label_components(n, edges[:, 0], edges[:, 1])

@@ -98,7 +98,11 @@ def emit(kind: str, **fields: object) -> None:
         merged = dict(extra)
         merged.update(fields)
         fields = merged
-    event = Event(kind=kind, time=time.time(), fields=fields)
+    event = Event(
+        kind=kind,
+        time=time.time(),  # repro: noqa[R002] -- progress-event timestamps are observability metadata, never folded into results
+        fields=fields,
+    )
     for sink in sinks:
         try:
             sink(event)

@@ -44,7 +44,6 @@ import dataclasses
 import hashlib
 import heapq
 import json
-import os
 import pickle
 import time
 from concurrent.futures import (
@@ -66,7 +65,6 @@ from repro.exceptions import (
     ParameterError,
     SchedulerError,
     UnitTimeoutError,
-    WorkUnitError,
 )
 from repro.simulation import pool as pool_mod
 from repro.simulation.engine import default_workers

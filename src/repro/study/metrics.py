@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.exceptions import ParameterError
 from repro.graphs.unionfind import (
     connected_components_labels,
     is_connected_pair_keys,
@@ -178,7 +179,7 @@ class DeploymentEvaluator:
             radius = math.sqrt(p / math.pi)
             mask = overlap_ok & (dep.pair_dists <= radius)
         else:  # pragma: no cover - scenarios validate the channel kind
-            raise ValueError(f"unknown channel {channel!r}")
+            raise ParameterError(f"unknown channel {channel!r}")
         self._masks[key] = mask
         return mask
 
@@ -328,7 +329,7 @@ class DeploymentEvaluator:
                 channel, q, p, metric.captured, trusted_only=True
             )
             return float(is_connected_pair_keys(n_live, keys))
-        raise ValueError(f"unknown metric kind {kind!r}")  # pragma: no cover
+        raise ParameterError(f"unknown metric kind {kind!r}")  # pragma: no cover
 
 
 def evaluate_scenario(

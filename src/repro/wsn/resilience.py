@@ -16,7 +16,7 @@ check connectivity (or k-connectivity) of what is left.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -1,0 +1,8 @@
+"""Synthetic violation tree: the CI lint leg must fail on this."""
+
+import random
+import time
+
+
+def tainted_trial():
+    return random.random() * time.time()

@@ -1,0 +1,22 @@
+"""R001 true positives: global / unseeded randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def stdlib_random_draw():
+    return random.random()
+
+
+def global_numpy_draw():
+    return np.random.rand(4)
+
+
+def os_entropy_generator():
+    return default_rng()
+
+
+def explicit_none_seed():
+    return np.random.default_rng(None)

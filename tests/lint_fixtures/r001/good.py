@@ -1,0 +1,19 @@
+"""R001 non-findings: SeedSequence-derived randomness."""
+
+import numpy as np
+
+
+def seeded_generator(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return rng.random(4)
+
+
+def forwarded_seed(seed) -> np.ndarray:
+    # A forwarded argument counts as seeded: callers own the discipline.
+    rng = np.random.default_rng(seed)
+    return rng.random(4)
+
+
+def spawned(seed: int):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(3)]

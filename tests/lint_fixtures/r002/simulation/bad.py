@@ -1,0 +1,22 @@
+"""R002 true positives: wall-clock/entropy on a result-bearing path."""
+
+import os
+import time
+import uuid
+from time import time as now
+
+
+def stamp_result(values):
+    return {"values": values, "generated_at": time.time()}
+
+
+def aliased_clock():
+    return now()
+
+
+def entropy_token():
+    return uuid.uuid4().hex
+
+
+def raw_entropy():
+    return os.urandom(8)

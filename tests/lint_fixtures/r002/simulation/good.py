@@ -1,0 +1,15 @@
+"""R002 non-findings: interval timers are measurement, not results."""
+
+import time
+
+
+def timed(fn):
+    start = time.monotonic()
+    fn()
+    return time.monotonic() - start
+
+
+def micro(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,21 @@
+"""R003 true positives: hash-ordered iteration feeding ordered sinks."""
+
+
+def accumulate(items):
+    total = 0.0
+    for value in set(items):
+        total += value
+    return total
+
+
+def materialize(a, b):
+    return list(set(a) | set(b))
+
+
+def schedule(jobs):
+    order = [job for job in {j.name for j in jobs}]
+    return order
+
+
+def key_order(mapping):
+    return [mapping[key] for key in mapping.keys()]

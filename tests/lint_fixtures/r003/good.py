@@ -1,0 +1,24 @@
+"""R003 non-findings: sorted or order-insensitive consumption."""
+
+
+def accumulate(items):
+    total = 0.0
+    for value in sorted(set(items)):
+        total += value
+    return total
+
+
+def materialize(a, b):
+    return sorted(set(a) | set(b))
+
+
+def sanitized_comprehension(promised, local):
+    return sorted(
+        name for name in set(promised) | set(local)
+        if promised.get(name) != local.get(name)
+    )
+
+
+def order_free(items):
+    distinct = set(items)
+    return len(distinct), min(distinct), max(distinct), 3 in distinct

@@ -1,0 +1,18 @@
+"""R004 true positives: kernel seam violations."""
+
+from repro.graphs.graph import Graph
+from repro.kernels.base import KernelBackend
+
+
+def component_count(graph: Graph) -> int:
+    return len(graph.nodes)
+
+
+class BrokenBackend(KernelBackend):
+    name = "broken"
+
+    def min_label_components(self, graph, labels):
+        return 0
+
+    def overlap_counts(self, node_ids, key_ids, num_nodes):
+        return None

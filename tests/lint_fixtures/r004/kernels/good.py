@@ -1,0 +1,16 @@
+"""R004 non-findings: an array-first backend matching the contract."""
+
+from repro.kernels.base import KernelBackend
+
+
+class ArrayBackend(KernelBackend):
+    name = "array"
+
+    def min_label_components(self, num_nodes, u, v):
+        return 1
+
+    def overlap_counts(self, node_ids, key_ids, num_nodes):
+        return None
+
+    def sparse_certificate(self, num_nodes, edges, k):
+        return None

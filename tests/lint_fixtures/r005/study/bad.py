@@ -1,0 +1,10 @@
+"""R005 true positives: import-time environment reads and global mutation."""
+
+import os
+
+import numpy as np
+
+DEBUG = os.getenv("REPRO_DEBUG")
+CACHE_DIR = os.environ.get("REPRO_CACHE", "/tmp/cache")
+os.environ["REPRO_STARTED"] = "1"
+np.seterr(all="raise")

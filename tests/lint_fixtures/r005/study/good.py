@@ -1,0 +1,13 @@
+"""R005 non-findings: env reads and mutation deferred to call time."""
+
+import os
+
+import numpy as np
+
+
+def debug_enabled() -> bool:
+    return bool(os.getenv("REPRO_DEBUG"))
+
+
+def configure_worker() -> None:
+    np.seterr(all="raise")

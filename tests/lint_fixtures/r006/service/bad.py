@@ -1,0 +1,16 @@
+"""R006 true positives: untyped exceptions on service paths."""
+
+
+def lookup(table, key):
+    if key not in table:
+        raise ValueError(f"unknown key {key!r}")
+    return table[key]
+
+
+def guard(ready):
+    if not ready:
+        raise Exception("not ready")
+
+
+def fail():
+    raise RuntimeError("boom")

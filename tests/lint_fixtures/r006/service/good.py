@@ -1,0 +1,26 @@
+"""R006 non-findings: typed repro exceptions and re-raises."""
+
+from repro.exceptions import ParameterError, SchedulerError
+
+
+def lookup(table, key):
+    if key not in table:
+        raise ParameterError(f"unknown key {key!r}")
+    return table[key]
+
+
+def guard(ready):
+    if not ready:
+        raise SchedulerError("not ready")
+
+
+def passthrough(fn):
+    try:
+        return fn()
+    except ParameterError as exc:
+        raise exc
+
+
+def wrong_type(value):
+    if not isinstance(value, int):
+        raise TypeError("value must be an int")

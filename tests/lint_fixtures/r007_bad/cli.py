@@ -1,0 +1,10 @@
+"""R007 true positive: a result-altering flag with no provenance story."""
+
+import argparse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="fixture")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mystery", type=float, default=1.0)
+    return parser

@@ -1,0 +1,11 @@
+"""R007 non-findings: every flag is classified and its key is written."""
+
+import argparse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="fixture")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--save", default=None)
+    return parser

@@ -1,0 +1,6 @@
+"""Provenance writer backing the flags declared in cli.py."""
+
+
+def record(result, workers: int) -> None:
+    provenance = result.setdefault("provenance", {})
+    provenance["workers"] = workers

@@ -1,0 +1,9 @@
+"""R008 true positives: builtin sum() float reduction in kernel code."""
+
+
+def mean_degree(degrees):
+    return sum(degrees) / len(degrees)
+
+
+def weighted(values, weights):
+    return sum(v * w for v, w in zip(values, weights))

@@ -1,0 +1,13 @@
+"""R008 non-findings: order-pinned reductions."""
+
+import math
+
+import numpy as np
+
+
+def mean_degree(degrees):
+    return float(np.sum(np.asarray(degrees, dtype=np.float64))) / len(degrees)
+
+
+def weighted(values, weights):
+    return math.fsum(v * w for v, w in zip(values, weights))

@@ -1,0 +1,11 @@
+"""Invalid suppressions: missing rule list and/or justification -> R000."""
+
+import time
+
+
+def bare():
+    return time.time()  # repro: noqa
+
+
+def no_reason():
+    return time.time()  # repro: noqa[R002]

@@ -11,12 +11,10 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.core.mindegree import min_degree_probability_poisson
 from repro.core.scaling import channel_prob_for_alpha
 from repro.params import QCompositeParams
-from repro.probability.limits import limit_probability
 from repro.simulation.runners import (
     estimate_agreement,
     estimate_connectivity,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.channels.disk import DiskChannel
 from repro.keygraphs.schemes import QCompositeScheme
