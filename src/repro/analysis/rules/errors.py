@@ -3,8 +3,9 @@
 The fault-tolerant scheduler, the shard transports, and the study/CLI
 boundaries all classify failures by exception type (retryable unit
 failures, shard mismatches, parameter errors rendered without a
-traceback).  A bare ``raise ValueError`` in ``simulation/``, ``study/``
-or ``service/`` bypasses that classification: it crosses process
+traceback).  A bare ``raise ValueError`` in ``keygraphs/``,
+``simulation/``, ``study/`` or ``service/`` bypasses that
+classification: it crosses process
 boundaries as an anonymous failure the supervisor can only treat as a
 crash.  Raise the typed hierarchy from :mod:`repro.exceptions` instead.
 """
@@ -26,12 +27,13 @@ class TypedExceptions(Rule):
     name = "typed-exceptions"
     severity = "error"
     description = (
-        "supervised paths (simulation/, study/, service/) raise only "
+        "supervised paths (keygraphs/, simulation/, study/, service/) "
+        "raise only "
         "typed exceptions from repro.exceptions, never bare "
         "Exception/ValueError"
     )
     default_config = {
-        "packages": ["simulation", "study", "service"],
+        "packages": ["keygraphs", "simulation", "study", "service"],
         "banned": [
             "Exception",
             "BaseException",

@@ -499,7 +499,13 @@ def _strip_unsupported(spec, kwargs: dict) -> dict:
 
 def _is_per_size_rings(scenario: dict) -> bool:
     rings = scenario.get("ring_sizes")
-    return bool(rings) and isinstance(rings, list) and isinstance(rings[0], list)
+    if not (bool(rings) and isinstance(rings, list) and isinstance(rings[0], list)):
+        return False
+    if "classes" in scenario:
+        # Class-mix entries are per-class [K_1, ..., K_C] vectors, so
+        # the per-size form carries one more nesting level.
+        return bool(rings[0]) and isinstance(rings[0][0], list)
+    return True
 
 
 def _is_per_size_curves(scenario: dict) -> bool:

@@ -25,6 +25,11 @@ from repro.core.design import (
     required_channel_probability,
 )
 from repro.core.er_laws import er_alpha, er_k_connectivity_probability
+from repro.core.heterogeneous import (
+    class_edge_probabilities,
+    het_channel_scale_for_alpha,
+    het_limit_probability,
+)
 from repro.core.mindegree import (
     min_degree_probability_limit,
     min_degree_probability_poisson,
@@ -64,6 +69,9 @@ __all__ = [
     "required_channel_probability",
     "er_alpha",
     "er_k_connectivity_probability",
+    "class_edge_probabilities",
+    "het_channel_scale_for_alpha",
+    "het_limit_probability",
     "min_degree_probability_limit",
     "min_degree_probability_poisson",
     "channel_prob_for_alpha",

@@ -1,0 +1,164 @@
+"""Heterogeneous (class-mix) critical scaling and limit law.
+
+Eletreby and Yağan extend the paper's homogeneous model to *classes*:
+node ``v`` draws class ``i`` with probability ``μ_i``, receives a key
+ring of size ``K_i``, and the on/off channel between a class-``i`` and
+a class-``j`` node is on with probability ``α_ij``.  The mean edge
+probability seen by a class-``i`` node is then
+
+    λ_i = Σ_j μ_j · α_ij · s(K_i, K_j, P, q)
+
+with ``s`` the cross-ring overlap-survival probability.  The zero–one
+law transfers with the *minimum* λ class taking the critical scaling:
+when ``λ_min(n) = (ln n + (k-1) ln ln n + α)/n``, the k-connectivity
+(and min-degree) probability converges to
+
+    exp( - μ_min · e^{-α} / (k-1)! )
+
+where ``μ_min`` is the weight of the class achieving ``λ_min`` — the
+bottleneck nodes are the sparse class's isolated vertices, diluted by
+how rare that class is.  These helpers mirror :mod:`repro.core.scaling`
+for the class-mix axis: compute the per-class λ vector, place a mix at
+a chosen deviation by scaling the whole ``α_ij`` matrix, and evaluate
+the heterogeneous limit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.exceptions import ParameterError
+from repro.probability.hypergeometric import cross_overlap_survival
+from repro.probability.limits import edge_probability_from_alpha, limit_probability
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "class_edge_probabilities",
+    "het_channel_scale_for_alpha",
+    "het_limit_probability",
+]
+
+
+def _check_mix(
+    ring_sizes: Sequence[int],
+    mu: Sequence[float],
+    channel_probs: Sequence[Sequence[float]],
+) -> Tuple[Tuple[int, ...], Tuple[float, ...], Tuple[Tuple[float, ...], ...]]:
+    """Normalize and validate one (ring sizes, μ, α matrix) triple."""
+    sizes = tuple(int(size) for size in ring_sizes)
+    if not sizes:
+        raise ParameterError("ring_sizes must be non-empty")
+    weights = tuple(float(w) for w in mu)
+    if len(weights) != len(sizes):
+        raise ParameterError(
+            f"mu has {len(weights)} classes but ring_sizes has {len(sizes)}"
+        )
+    for w in weights:
+        check_probability(w, "mu entry")
+        if w <= 0.0:
+            raise ParameterError(f"mu entries must be positive, got {w}")
+    if abs(math.fsum(weights) - 1.0) > 1e-9:
+        raise ParameterError(
+            f"mu must sum to 1, got {math.fsum(weights)!r}"
+        )
+    matrix = tuple(tuple(float(a) for a in row) for row in channel_probs)
+    if len(matrix) != len(sizes) or any(len(row) != len(sizes) for row in matrix):
+        raise ParameterError(
+            f"channel_probs must be a {len(sizes)}x{len(sizes)} matrix"
+        )
+    for i, row in enumerate(matrix):
+        for j, a in enumerate(row):
+            check_probability(a, "channel_probs entry")
+            if a <= 0.0:
+                raise ParameterError(
+                    f"channel_probs entries must be positive, got {a}"
+                )
+            if matrix[j][i] != a:
+                raise ParameterError("channel_probs must be symmetric")
+    return sizes, weights, matrix
+
+
+def class_edge_probabilities(
+    ring_sizes: Sequence[int],
+    pool_size: int,
+    q: int,
+    mu: Sequence[float],
+    channel_probs: Sequence[Sequence[float]],
+) -> Tuple[float, ...]:
+    """Per-class mean edge probabilities ``λ_i = Σ_j μ_j α_ij s(K_i,K_j,P,q)``.
+
+    The returned vector is the heterogeneous analogue of the scalar
+    ``p · s(K,P,q)``: entry ``i`` is the probability that a class-``i``
+    node links to a uniformly random other node.  Its minimum drives
+    the zero–one law.
+    """
+    sizes, weights, matrix = _check_mix(ring_sizes, mu, channel_probs)
+    lambdas = []
+    for i, size_i in enumerate(sizes):
+        total = 0.0
+        for j, size_j in enumerate(sizes):
+            survival = cross_overlap_survival(size_i, size_j, pool_size, q)
+            total += weights[j] * matrix[i][j] * survival
+        lambdas.append(total)
+    return tuple(lambdas)
+
+
+def het_channel_scale_for_alpha(
+    num_nodes: int,
+    ring_sizes: Sequence[int],
+    pool_size: int,
+    q: int,
+    mu: Sequence[float],
+    channel_probs: Sequence[Sequence[float]],
+    alpha: float,
+    k: int = 1,
+) -> float:
+    """Scalar ``c`` placing ``c · min_i λ_i`` at deviation ``α``.
+
+    Multiplying the whole ``α_ij`` matrix by ``c`` scales every λ_i by
+    ``c`` while preserving the mix shape, so solving
+    ``c · λ_min = (ln n + (k-1) ln ln n + α)/n`` pins the bottleneck
+    class exactly at the critical scaling.  Raises
+    :class:`ParameterError` when the required ``c`` would push any
+    matrix entry above 1 — the mix cannot reach that deviation and the
+    ring sizes must grow instead (the heterogeneous analogue of
+    :func:`repro.core.scaling.channel_prob_for_alpha`'s bound).
+    """
+    lambdas = class_edge_probabilities(ring_sizes, pool_size, q, mu, channel_probs)
+    lam_min = min(lambdas)
+    if lam_min <= 0.0:
+        raise ParameterError(
+            "minimum class edge probability is zero; increase the ring sizes"
+        )
+    t_target = edge_probability_from_alpha(alpha, num_nodes, k)
+    scale = t_target / lam_min
+    if scale <= 0.0:
+        raise ParameterError(
+            f"alpha={alpha} yields non-positive channel scale {scale:.4g}"
+        )
+    peak = max(max(row) for row in channel_probs)
+    if scale * peak > 1.0:
+        raise ParameterError(
+            f"alpha={alpha} needs channel scale {scale:.4g} pushing the peak "
+            f"matrix entry to {scale * peak:.4g} > 1; increase the ring sizes"
+        )
+    return scale
+
+
+def het_limit_probability(alpha: float, mu_min: float, k: int = 1) -> float:
+    """The heterogeneous limit ``exp(-μ_min e^{-α}/(k-1)!)``.
+
+    ``mu_min`` is the weight of the class achieving the minimum λ.
+    Equivalent to shifting the homogeneous law by ``ln μ_min``:
+    rarer bottleneck classes contribute fewer isolated nodes, lifting
+    the limit probability at the same deviation.
+    """
+    mu_min = check_probability(mu_min, "mu_min")
+    if mu_min <= 0.0:
+        raise ParameterError(f"mu_min must be positive, got {mu_min}")
+    if math.isnan(alpha):
+        raise ParameterError("alpha must not be NaN")
+    if math.isinf(alpha):
+        return limit_probability(alpha, k)
+    return limit_probability(alpha - math.log(mu_min), k)

@@ -59,6 +59,8 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
         disk_comparison,
         figure1,
         giant_component,
+        het_mindegree,
+        het_zero_one,
         kstar,
         mindegree_equiv,
         resilience,
@@ -106,6 +108,22 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             run=mindegree_equiv.run_mindegree_equiv,
             render=mindegree_equiv.render_mindegree_equiv,
             build_study=mindegree_equiv.build_mindegree_study,
+        ),
+        ExperimentSpec(
+            name="het_zero_one",
+            paper_anchor="Section IX extension (Eletreby-Yagan class mix)",
+            description="Heterogeneous zero-one law: class-mix sharpening at fixed ±α.",
+            run=het_zero_one.run_het_zero_one,
+            render=het_zero_one.render_het_zero_one,
+            build_study=het_zero_one.build_het_zero_one_study,
+        ),
+        ExperimentSpec(
+            name="het_mindegree",
+            paper_anchor="Section IX extension (Eletreby-Yagan class mix, Lemma 8)",
+            description="Heterogeneous min-degree law and k-connectivity equivalence.",
+            run=het_mindegree.run_het_mindegree,
+            render=het_mindegree.render_het_mindegree,
+            build_study=het_mindegree.build_het_mindegree_study,
         ),
         ExperimentSpec(
             name="degree_poisson",

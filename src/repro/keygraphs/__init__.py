@@ -9,6 +9,8 @@ from repro.keygraphs.pool import KeyPool
 from repro.keygraphs.rings import (
     rings_to_incidence,
     sample_binomial_rings,
+    sample_class_labels,
+    sample_class_rings,
     sample_uniform_rings,
 )
 from repro.keygraphs.schemes import (
@@ -30,6 +32,8 @@ __all__ = [
     "KeyPool",
     "rings_to_incidence",
     "sample_binomial_rings",
+    "sample_class_labels",
+    "sample_class_rings",
     "sample_uniform_rings",
     "EschenauerGligorScheme",
     "QCompositeScheme",

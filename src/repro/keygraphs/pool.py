@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 
+from repro.exceptions import ParameterError
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 __all__ = ["KeyPool"]
@@ -55,7 +56,9 @@ class KeyPool:
         """
         key_id = check_nonnegative_int(key_id, "key_id")
         if key_id >= self._size:
-            raise IndexError(f"key id {key_id} outside pool of size {self._size}")
+            raise ParameterError(
+                f"key id {key_id} outside pool of size {self._size}"
+            )
         digest = hashlib.sha256(
             self._master + key_id.to_bytes(8, "big")
         ).digest()

@@ -18,10 +18,11 @@ shuffle, which is exact for any ``K <= P``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
+from repro.exceptions import ParameterError
 from repro.utils.rng import RandomState, as_generator, sample_distinct_integers
 from repro.utils.validation import (
     check_key_parameters,
@@ -32,6 +33,8 @@ from repro.utils.validation import (
 __all__ = [
     "sample_uniform_rings",
     "sample_binomial_rings",
+    "sample_class_labels",
+    "sample_class_rings",
     "rings_to_incidence",
 ]
 
@@ -54,7 +57,7 @@ def sample_uniform_rings(
     cheap).
     """
     num_nodes = check_positive_int(num_nodes, "num_nodes")
-    check_key_parameters(key_ring_size, pool_size, 1)
+    key_ring_size, pool_size, _ = check_key_parameters(key_ring_size, pool_size, 1)
     rng = as_generator(seed)
     n, k, p = num_nodes, key_ring_size, pool_size
 
@@ -64,14 +67,16 @@ def sample_uniform_rings(
     density = k * (k - 1) / (2.0 * p)
     if density <= _REJECTION_LIMIT:
         rings = np.sort(rng.integers(0, p, size=(n, k), dtype=np.int64), axis=1)
-        bad = (np.diff(rings, axis=1) == 0).any(axis=1)
-        while bad.any():
+        # Only redrawn rows can still contain duplicates, so the re-check
+        # after each pass is restricted to them; accepted rows are final.
+        bad_idx = np.flatnonzero((np.diff(rings, axis=1) == 0).any(axis=1))
+        while bad_idx.size:
             redraw = np.sort(
-                rng.integers(0, p, size=(int(bad.sum()), k), dtype=np.int64), axis=1
+                rng.integers(0, p, size=(bad_idx.size, k), dtype=np.int64), axis=1
             )
-            rings[bad] = redraw
-            bad_rows = (np.diff(rings, axis=1) == 0).any(axis=1)
-            bad = bad_rows
+            rings[bad_idx] = redraw
+            still = (np.diff(redraw, axis=1) == 0).any(axis=1)
+            bad_idx = bad_idx[still]
         return rings
 
     # Dense fallback: per-row partial shuffle via argpartition of noise.
@@ -150,6 +155,74 @@ def sample_binomial_rings(
     return rings
 
 
+def sample_class_labels(
+    num_nodes: int,
+    mu: Sequence[float],
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Draw i.i.d. class labels with class ``i`` chosen with probability ``mu[i]``.
+
+    The heterogeneous (Eletreby–Yağan) model assigns every node a class
+    before any ring is drawn.  Inverse-CDF sampling through one uniform
+    per node keeps the draw count independent of the number of classes,
+    which pins the stream layout for reproducibility.
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    weights = np.asarray(mu, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ParameterError("mu must be a non-empty 1-d probability vector")
+    if (weights <= 0.0).any():
+        raise ParameterError("every class probability mu[i] must be > 0")
+    total = float(weights.sum())
+    if abs(total - 1.0) > 1e-9:
+        raise ParameterError(f"class probabilities mu must sum to 1, got {total}")
+    rng = as_generator(seed)
+    edges = np.cumsum(weights) / total
+    # Guard the top edge against rounding so a uniform of ~1.0 cannot
+    # index past the last class.
+    edges[-1] = 1.0
+    uniforms = rng.random(num_nodes)
+    return np.searchsorted(edges, uniforms, side="right").astype(np.int64)
+
+
+def sample_class_rings(
+    labels: np.ndarray,
+    ring_sizes: Sequence[int],
+    pool_size: int,
+    seed: RandomState = None,
+) -> List[np.ndarray]:
+    """Sample per-node rings with per-class sizes ``ring_sizes[labels[v]]``.
+
+    Returns a ragged list of sorted int64 arrays, one per node, matching
+    the binomial sampler's ring representation so ragged rings flow
+    through the same overlap kernels.  Classes are filled in label order
+    ``0..C-1`` through :func:`sample_uniform_rings`, which fixes the RNG
+    stream layout: the draw sequence depends only on ``(labels,
+    ring_sizes, pool_size)``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1 or labels.size == 0:
+        raise ParameterError("labels must be a non-empty 1-d integer array")
+    sizes = [check_positive_int(k, "ring_sizes[i]") for k in ring_sizes]
+    if labels.min() < 0 or labels.max() >= len(sizes):
+        raise ParameterError(
+            f"labels must index into {len(sizes)} ring sizes, "
+            f"got range [{labels.min()}, {labels.max()}]"
+        )
+    for k in sizes:
+        check_key_parameters(k, pool_size, 1)
+    rng = as_generator(seed)
+    rings: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * labels.size
+    for cls, size in enumerate(sizes):
+        members = np.flatnonzero(labels == cls)
+        if not members.size:
+            continue
+        block = sample_uniform_rings(members.size, size, pool_size, seed=rng)
+        for pos, node in enumerate(members):
+            rings[node] = block[pos]
+    return rings
+
+
 def rings_to_incidence(rings, pool_size: int) -> np.ndarray:
     """Convert rings to a dense ``(n, P)`` uint8 membership matrix.
 
@@ -166,6 +239,6 @@ def rings_to_incidence(rings, pool_size: int) -> np.ndarray:
     for i, ring in enumerate(rows):
         ring = np.asarray(ring, dtype=np.int64)
         if ring.size and (ring.min() < 0 or ring.max() >= pool_size):
-            raise ValueError("ring contains key ids outside the pool")
+            raise ParameterError("ring contains key ids outside the pool")
         out[i, ring] = 1
     return out

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import ParameterError
 from repro.graphs.graph import Graph
 from repro.keygraphs.pool import KeyPool
 from repro.keygraphs.rings import sample_uniform_rings
@@ -53,12 +54,12 @@ class QCompositeScheme:
         q: int,
         pool: Optional[KeyPool] = None,
     ) -> None:
-        check_key_parameters(key_ring_size, pool_size, q)
-        self.key_ring_size = int(key_ring_size)
-        self.pool_size = int(pool_size)
-        self.q = int(q)
+        key_ring_size, pool_size, q = check_key_parameters(key_ring_size, pool_size, q)
+        self.key_ring_size = key_ring_size
+        self.pool_size = pool_size
+        self.q = q
         if pool is not None and pool.size != self.pool_size:
-            raise ValueError(
+            raise ParameterError(
                 f"pool size {pool.size} does not match pool_size {pool_size}"
             )
         self.pool = pool if pool is not None else KeyPool(self.pool_size)

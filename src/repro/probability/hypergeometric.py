@@ -33,6 +33,7 @@ __all__ = [
     "overlap_cdf",
     "overlap_mean",
     "no_overlap_probability",
+    "cross_overlap_survival",
 ]
 
 
@@ -178,6 +179,43 @@ def no_overlap_probability(key_ring_size: int, pool_size: int) -> float:
     Eschenauer–Gligor (q = 1) key graph.
     """
     return overlap_pmf(key_ring_size, pool_size, 0)
+
+
+def cross_overlap_survival(
+    ring_size_a: int, ring_size_b: int, pool_size: int, q: int
+) -> float:
+    """Return ``P[|S_a ∩ S_b| >= q]`` for rings of *different* sizes.
+
+    The heterogeneous (Eletreby–Yağan) model draws class-``i`` nodes a
+    uniform ``K_i``-subset; the overlap of a ``K_a``-ring and a
+    ``K_b``-ring is hypergeometric with
+
+        P[overlap = u] = C(K_b, u) C(P - K_b, K_a - u) / C(P, K_a)
+
+    and the class-pair edge probability is the upper tail at ``q``.
+    Reduces to :func:`overlap_survival` when ``K_a == K_b``.  Computed by
+    log-space tail summation — the sizes here are per-class constants, so
+    the ratio-recurrence fast path is not needed.
+    """
+    ring_size_a, pool_size, _ = check_key_parameters(ring_size_a, pool_size, 1)
+    ring_size_b, pool_size, _ = check_key_parameters(ring_size_b, pool_size, 1)
+    q = check_nonnegative_int(q, "q")
+    if q == 0:
+        return 1.0
+    a, b, p = ring_size_a, ring_size_b, pool_size
+    hi = min(a, b)
+    if q > hi:
+        return 0.0
+    log_denom = log_binomial(p, a)
+    terms = []
+    for u in range(q, hi + 1):
+        num = log_binomial(b, u) + log_binomial(p - b, a - u)
+        if num > float("-inf"):
+            terms.append(num - log_denom)
+    if not terms:
+        return 0.0
+    ls = logsumexp(terms)
+    return min(math.exp(ls), 1.0) if ls > float("-inf") else 0.0
 
 
 def overlap_survival_batch(

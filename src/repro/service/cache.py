@@ -27,8 +27,11 @@ units, adaptive raggedness) is not a valid prefix to extend, because a
 one-shot run at the larger count would have evaluated the skipped
 cells.  Fault reports ride along with stored results and are folded —
 deduplicated by :func:`~repro.simulation.scheduler.combine_fault_reports`
-— into the final provenance, so a cached-then-extended study reports
-each historical fault exactly once.
+— into the final provenance of any run that executes new work, so a
+cached-then-extended study reports each historical fault exactly once.
+A pure *hit* executes nothing: its ``provenance["faults"]`` never
+resurrects stored reports (the run itself was fault-free); the folded
+history stays inspectable under ``provenance["cache"]["stored_faults"]``.
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -145,6 +148,18 @@ class ResultCache:
         return True
 
 
+def _fault_report(provenance: Mapping[str, object]) -> Optional[Dict[str, object]]:
+    """The run's structured fault report, typed; ``None`` when absent."""
+    faults = provenance.get("faults")
+    return faults if isinstance(faults, dict) else None
+
+
+def _unit_count(provenance: Mapping[str, object]) -> int:
+    """The run's executed-unit count, typed; 0 when absent/malformed."""
+    units = provenance.get("units", 0)
+    return int(units) if isinstance(units, int) else 0
+
+
 def _plain_run(
     study: Study,
     transport: Optional[ShardTransport],
@@ -211,7 +226,7 @@ def run_cached(
         provenance["cache"] = {
             "disposition": "bypass",
             "scenario_hashes": hashes,
-            "executed_units": int(provenance.get("units", 0)),  # type: ignore[arg-type]
+            "executed_units": _unit_count(provenance),
         }
         return StudyResult(results=result.results, provenance=provenance)
 
@@ -221,7 +236,15 @@ def run_cached(
         (entry.trials if entry is not None else 0 for entry in entries.values()),
         default=0,
     )
+    # Fault history rides the cache entries; ``run_faults`` is what the
+    # work executed by THIS call reported.  The two are folded together
+    # for the store-back (each historical fault stored exactly once),
+    # but only runs that executed new work surface the fold as their
+    # own ``provenance["faults"]`` — a pure hit executed nothing, so
+    # resurrecting stored crash reports there would claim faults that
+    # never happened in this invocation.
     stored_faults: List[Optional[Dict[str, object]]] = []
+    run_faults: Optional[Dict[str, object]] = None
 
     if covered >= requested:
         disposition = "hit"
@@ -265,8 +288,8 @@ def run_cached(
             base = entry.result.truncated(covered)
             results[sc.name] = base.merge(delta[sc.name])
             stored_faults.append(entry.faults)
-        stored_faults.append(delta.provenance.get("faults"))  # type: ignore[arg-type]
-        executed_units = int(delta.provenance.get("units", 0))  # type: ignore[arg-type]
+        run_faults = _fault_report(delta.provenance)
+        executed_units = _unit_count(delta.provenance)
         base_provenance = dict(delta.provenance)
     else:
         disposition = "miss"
@@ -278,11 +301,11 @@ def run_cached(
         )
         full = _plain_run(study, transport, axis, shards, workers, scheduler)
         results = {sc.name: full[sc.name] for sc in study.scenarios}
-        stored_faults.append(full.provenance.get("faults"))  # type: ignore[arg-type]
-        executed_units = int(full.provenance.get("units", 0))  # type: ignore[arg-type]
+        run_faults = _fault_report(full.provenance)
+        executed_units = _unit_count(full.provenance)
         base_provenance = dict(full.provenance)
 
-    combined_faults = combine_fault_reports(stored_faults)
+    combined_faults = combine_fault_reports([*stored_faults, run_faults])
     for sc in study.scenarios:
         cache.store(results[sc.name], faults=combined_faults)
 
@@ -291,7 +314,7 @@ def run_cached(
     provenance["units"] = executed_units
     if transport is not None:
         provenance.setdefault("transport", transport.name)
-    provenance["cache"] = {
+    cache_info: Dict[str, object] = {
         "disposition": disposition,
         "store": str(cache.root),
         "scenario_hashes": hashes,
@@ -300,10 +323,20 @@ def run_cached(
         "delta_window": list(delta_window) if delta_window else None,
         "executed_units": executed_units,
     }
-    if combined_faults is not None:
+    if disposition == "hit":
+        # Zero work units ran: the answer's fault history stays visible
+        # under the cache record, but provenance["faults"] — what THIS
+        # run's execution reported — must not resurrect it.
+        if combined_faults is not None:
+            cache_info["stored_faults"] = combined_faults
+    elif combined_faults is not None:
+        # New work merged with (possibly faulted) stored results: fold
+        # history + this run's report, each historical fault exactly
+        # once (see combine_fault_reports dedup).
         provenance["faults"] = combined_faults
     elif "faults" in provenance:
         del provenance["faults"]
+    provenance["cache"] = cache_info
     return StudyResult(
         results=tuple(results[sc.name] for sc in study.scenarios),
         provenance=provenance,

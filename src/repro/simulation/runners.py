@@ -20,6 +20,8 @@ from repro.simulation.estimators import BernoulliEstimate
 from repro.simulation.trials import (
     connectivity_trial,
     degree_count_trial,
+    het_connectivity_trial,
+    het_min_degree_vs_kconn_trial,
     k_connectivity_trial,
     min_degree_trial,
     min_degree_vs_kconn_trial,
@@ -31,6 +33,8 @@ __all__ = [
     "estimate_min_degree",
     "sample_degree_counts",
     "estimate_agreement",
+    "estimate_het_connectivity",
+    "estimate_het_agreement",
 ]
 
 
@@ -106,6 +110,83 @@ def estimate_agreement(
     """
     outcomes: List[Tuple[bool, bool]] = run_trials(
         functools.partial(min_degree_vs_kconn_trial, params, k),
+        trials,
+        seed,
+        workers,
+    )
+    deg_hits = sum(1 for deg_ok, _ in outcomes if deg_ok)
+    conn_hits = sum(1 for _, conn_ok in outcomes if conn_ok)
+    agree = sum(1 for deg_ok, conn_ok in outcomes if deg_ok == conn_ok)
+    return (
+        BernoulliEstimate.from_counts(deg_hits, trials),
+        BernoulliEstimate.from_counts(conn_hits, trials),
+        agree / trials,
+    )
+
+
+def estimate_het_connectivity(
+    num_nodes: int,
+    pool_size: int,
+    ring_sizes: Tuple[int, ...],
+    mu: Tuple[float, ...],
+    channel_probs: Tuple[Tuple[float, ...], ...],
+    q: int,
+    trials: int,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> BernoulliEstimate:
+    """Empirical P[connected] of the heterogeneous class-mix model.
+
+    Independent per-point sampling (one fresh deployment per trial) —
+    the ``backend="legacy"`` cross-check for the study-compiled
+    heterogeneous experiments.
+    """
+    outcomes = run_trials(
+        functools.partial(
+            het_connectivity_trial,
+            num_nodes,
+            pool_size,
+            ring_sizes,
+            mu,
+            channel_probs,
+            q,
+        ),
+        trials,
+        seed,
+        workers,
+    )
+    return BernoulliEstimate.from_counts(sum(outcomes), trials)
+
+
+def estimate_het_agreement(
+    num_nodes: int,
+    pool_size: int,
+    ring_sizes: Tuple[int, ...],
+    mu: Tuple[float, ...],
+    channel_probs: Tuple[Tuple[float, ...], ...],
+    q: int,
+    k: int,
+    trials: int,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Tuple[BernoulliEstimate, BernoulliEstimate, float]:
+    """Joint heterogeneous min-degree / k-connectivity estimates.
+
+    Returns ``(min_degree_estimate, k_connectivity_estimate,
+    agreement)`` exactly like :func:`estimate_agreement`, on the
+    class-mix model.
+    """
+    outcomes: List[Tuple[bool, bool]] = run_trials(
+        functools.partial(
+            het_min_degree_vs_kconn_trial,
+            num_nodes,
+            pool_size,
+            ring_sizes,
+            mu,
+            channel_probs,
+            q,
+            k,
+        ),
         trials,
         seed,
         workers,

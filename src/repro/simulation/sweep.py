@@ -41,7 +41,11 @@ import numpy as np
 from repro.exceptions import ParameterError
 from repro.graphs.unionfind import is_connected_pair_keys
 from repro.kernels import get_backend, resolve_backend_name, use_backend
-from repro.keygraphs.rings import sample_uniform_rings
+from repro.keygraphs.rings import (
+    sample_class_labels,
+    sample_class_rings,
+    sample_uniform_rings,
+)
 from repro.keygraphs.uniform_graph import overlap_counts_from_rings
 from repro.simulation.engine import run_batches
 from repro.simulation.estimators import BernoulliEstimate
@@ -55,7 +59,9 @@ from repro.utils.validation import (
 __all__ = [
     "SweepSpec",
     "split_trial_blocks",
+    "class_pair_probabilities",
     "sweep_curve_masks",
+    "sweep_class_curve_masks",
     "sweep_deployment_outcomes",
     "run_sweep_trials",
     "sweep_connectivity_estimates",
@@ -140,6 +146,76 @@ def sweep_curve_masks(
     masks = [
         (cand_counts >= q) & (uniforms < p) if p < 1.0 else cand_counts >= q
         for q, p in curves
+    ]
+    return candidates, masks
+
+
+def class_pair_probabilities(
+    labels: np.ndarray,
+    candidates: np.ndarray,
+    num_nodes: int,
+    channel_probs: Sequence[Sequence[float]],
+) -> np.ndarray:
+    """Per-candidate channel probability ``alpha[c(u), c(v)]``.
+
+    The heterogeneous on/off channel turns a candidate edge ``(u, v)``
+    on with the class-pair probability, so each candidate's threshold
+    is a gather from the ``C x C`` matrix indexed by the endpoint
+    labels.  Pure post-processing: no randomness is consumed.
+    """
+    alpha = np.asarray(channel_probs, dtype=np.float64)
+    if alpha.ndim != 2 or alpha.shape[0] != alpha.shape[1]:
+        raise ParameterError(
+            f"channel_probs must be a square matrix, got shape {alpha.shape}"
+        )
+    labels = np.asarray(labels, dtype=np.int64)
+    u = candidates // num_nodes
+    v = candidates % num_nodes
+    return alpha[labels[u], labels[v]]
+
+
+def sweep_class_curve_masks(
+    num_nodes: int,
+    pool_size: int,
+    mu: Sequence[float],
+    ring_sizes: Sequence[int],
+    channel_probs: Sequence[Sequence[float]],
+    curves: Sequence[Curve],
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Heterogeneous shared deployment: per-class-pair nested thinning.
+
+    The class-mix generalization of :func:`sweep_curve_masks`: one
+    sampled world (class labels, per-class mixed-size rings, overlap
+    counts, one uniform per candidate edge) serves every ``(q, p)``
+    curve, where curve ``p`` scales the whole per-class-pair matrix —
+    candidate ``(u, v)`` survives curve ``(q, p)`` iff its overlap is
+    at least ``q`` and its uniform lands below ``p * alpha[c(u),
+    c(v)]``.  Masks stay monotonically coupled in ``(q, p)`` exactly
+    like the homogeneous engine, so lattice deduction remains exact.
+
+    Draw order (part of the determinism contract): labels, rings,
+    then one uniform per candidate.
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    if len(ring_sizes) != len(mu):
+        raise ParameterError(
+            f"ring_sizes declares {len(ring_sizes)} classes but mu "
+            f"declares {len(mu)}"
+        )
+    q_min = min(q for q, _ in curves)
+    labels = sample_class_labels(num_nodes, mu, rng)
+    rings = sample_class_rings(labels, ring_sizes, pool_size, rng)
+    pair_keys, counts = overlap_counts_from_rings(rings)
+    keep = counts >= q_min
+    candidates = pair_keys[keep]
+    cand_counts = counts[keep]
+    uniforms = rng.random(candidates.size)
+    pair_alpha = class_pair_probabilities(
+        labels, candidates, num_nodes, channel_probs
+    )
+    masks = [
+        (cand_counts >= q) & (uniforms < p * pair_alpha) for q, p in curves
     ]
     return candidates, masks
 

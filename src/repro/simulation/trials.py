@@ -21,18 +21,25 @@ from repro.channels.onoff import sample_onoff_mask
 from repro.graphs.properties import degrees_from_edges
 from repro.graphs.unionfind import is_connected_edges
 from repro.graphs.vertex_connectivity import is_k_connected_edges
-from repro.keygraphs.rings import sample_uniform_rings
-from repro.keygraphs.uniform_graph import edges_from_rings
+from repro.keygraphs.rings import (
+    sample_class_labels,
+    sample_class_rings,
+    sample_uniform_rings,
+)
+from repro.keygraphs.uniform_graph import edges_from_rings, overlap_counts_from_rings
 from repro.params import QCompositeParams
 
 __all__ = [
     "sample_secure_edges",
+    "sample_het_secure_edges",
     "connectivity_trial",
     "k_connectivity_trial",
     "min_degree_trial",
     "degree_count_trial",
     "min_degree_vs_kconn_trial",
     "isolated_count_trial",
+    "het_connectivity_trial",
+    "het_min_degree_vs_kconn_trial",
 ]
 
 
@@ -109,3 +116,74 @@ def min_degree_vs_kconn_trial(
     if k == 1:
         return (True, is_connected_edges(params.num_nodes, edges))
     return (True, is_k_connected_edges(params.num_nodes, edges, k))
+
+
+def sample_het_secure_edges(
+    num_nodes: int,
+    pool_size: int,
+    ring_sizes,
+    mu,
+    channel_probs,
+    q: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample one heterogeneous (class-mix) topology; return its edges.
+
+    The Eletreby–Yağan model, sampled exactly: per-node classes from
+    ``mu``, per-class ring sizes, candidate edges at ``>= q`` shared
+    keys, then one Bernoulli per candidate at the class-pair probability
+    ``channel_probs[c(u)][c(v)]``.  This is the independent per-point
+    sampler backing the ``backend="legacy"`` cross-checks of the
+    heterogeneous experiments — deliberately decoupled from the study
+    compiler's shared-deployment stream.
+    """
+    labels = sample_class_labels(num_nodes, mu, rng)
+    rings = sample_class_rings(labels, ring_sizes, pool_size, rng)
+    pair_keys, counts = overlap_counts_from_rings(rings)
+    candidates = pair_keys[counts >= q]
+    u = candidates // num_nodes
+    v = candidates % num_nodes
+    matrix = np.asarray(channel_probs, dtype=np.float64)
+    keep = rng.random(candidates.size) < matrix[labels[u], labels[v]]
+    out = np.empty((int(keep.sum()), 2), dtype=np.int64)
+    out[:, 0] = u[keep]
+    out[:, 1] = v[keep]
+    return out
+
+
+def het_connectivity_trial(
+    num_nodes: int,
+    pool_size: int,
+    ring_sizes,
+    mu,
+    channel_probs,
+    q: int,
+    rng: np.random.Generator,
+) -> bool:
+    """One heterogeneous deployment → is it connected?"""
+    edges = sample_het_secure_edges(
+        num_nodes, pool_size, ring_sizes, mu, channel_probs, q, rng
+    )
+    return is_connected_edges(num_nodes, edges)
+
+
+def het_min_degree_vs_kconn_trial(
+    num_nodes: int,
+    pool_size: int,
+    ring_sizes,
+    mu,
+    channel_probs,
+    q: int,
+    k: int,
+    rng: np.random.Generator,
+) -> "tuple[bool, bool]":
+    """One heterogeneous deployment → (min degree >= k, k-connected)."""
+    edges = sample_het_secure_edges(
+        num_nodes, pool_size, ring_sizes, mu, channel_probs, q, rng
+    )
+    deg_ok = int(degrees_from_edges(num_nodes, edges).min()) >= k
+    if not deg_ok:
+        return (False, False)  # min degree < k forbids k-connectivity
+    if k == 1:
+        return (True, is_connected_edges(num_nodes, edges))
+    return (True, is_k_connected_edges(num_nodes, edges, k))

@@ -54,6 +54,7 @@ from repro.study.result import ScenarioResult, StudyResult, render_study_result
 from repro.study.scenario import (
     CHANNEL_KINDS,
     METRIC_KINDS,
+    ClassMix,
     MetricSpec,
     Scenario,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "AdaptivePolicy",
     "CHANNEL_KINDS",
     "METRIC_KINDS",
+    "ClassMix",
     "MetricSpec",
     "Scenario",
     "Study",

@@ -56,7 +56,7 @@ from repro.study.metrics import (
     sample_deployment,
 )
 from repro.study.result import ScenarioResult, StudyResult
-from repro.study.scenario import Scenario
+from repro.study.scenario import ClassMix, Scenario
 from repro.utils.rng import grid_seed_sequence
 
 __all__ = ["Study", "GroupPlan", "ActiveMap", "run_scenario"]
@@ -75,7 +75,9 @@ class GroupPlan:
 
     sizes: Tuple[int, ...]  # num_nodes per size-axis entry
     pool_sizes: Tuple[int, ...]  # pool size per size-axis entry
-    ring_grid: Tuple[Tuple[int, ...], ...]  # per-size K grids, equal lengths
+    # Per-size K grids, equal lengths; entries are ints, or per-class
+    # int tuples when the family carries a class mix.
+    ring_grid: Tuple[Tuple, ...]
     trials: int
     seed: int
     sized: bool
@@ -84,6 +86,9 @@ class GroupPlan:
     needs_disk: bool
     needs_capture: bool
     scenarios: Tuple[Scenario, ...]
+    # Heterogeneous class mix shared by every member scenario (part of
+    # the deployment key, so it is uniform within a group), or None.
+    class_mix: Optional[ClassMix] = None
     # Resolved kernel-backend name for every kernel call of this plan's
     # work units (deployment sampling and metric evaluation).  Resolved
     # at compile time in the submitting process, so warm-pool workers
@@ -164,6 +169,7 @@ def _plan_group(scenarios: Sequence[Scenario]) -> GroupPlan:
         needs_disk=any(s.channel == "disk" for s in scenarios),
         needs_capture=any(s.needs_capture for s in scenarios),
         scenarios=tuple(scenarios),
+        class_mix=head.classes,
     )
 
 
@@ -213,6 +219,7 @@ def _group_block(
                 needs_onoff=plan.needs_onoff,
                 needs_disk=plan.needs_disk,
                 needs_capture=plan.needs_capture,
+                class_mix=plan.class_mix,
             )
             evaluator = DeploymentEvaluator(dep)
             ledgers: Dict = {}  # shared deduction state across member scenarios
@@ -531,6 +538,8 @@ class Study:
             "seed": plan.seed,
             "kernel_backend": plan.kernel_backend,
         }
+        if plan.class_mix is not None:
+            out["classes"] = plan.class_mix.to_dict()
         if plan.sized:
             out.update(
                 {

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -34,9 +34,14 @@ from repro.graphs.unionfind import (
     is_connected_pair_keys,
 )
 from repro.kernels import get_backend
-from repro.keygraphs.rings import sample_uniform_rings
+from repro.keygraphs.rings import (
+    sample_class_labels,
+    sample_class_rings,
+    sample_uniform_rings,
+)
 from repro.keygraphs.uniform_graph import overlap_counts_from_rings
-from repro.study.scenario import MetricSpec, Scenario
+from repro.simulation.sweep import class_pair_probabilities
+from repro.study.scenario import ClassMix, MetricSpec, Scenario
 
 __all__ = [
     "Deployment",
@@ -94,30 +99,62 @@ def _ledger_coords(metric: MetricSpec):
 
 @dataclasses.dataclass
 class Deployment:
-    """One sampled world: rings + candidate pairs + channel variables."""
+    """One sampled world: rings + candidate pairs + channel variables.
+
+    ``rings`` is the ``(n, K)`` array of a homogeneous deployment or
+    the ragged per-node list of a heterogeneous (class-mix) one; in the
+    latter case ``labels`` carries the per-node class and
+    ``pair_alpha`` the per-candidate class-pair channel probability
+    ``alpha[c(u), c(v)]`` (curve ``p`` scales it at mask time).
+    """
 
     num_nodes: int
-    rings: np.ndarray
+    rings: Union[np.ndarray, List[np.ndarray]]
     candidates: np.ndarray  # int64 pair keys u * n + v with count >= q_min
     counts: np.ndarray  # shared-key count per candidate
     uniforms: Optional[np.ndarray] = None  # on/off channel
     pair_dists: Optional[np.ndarray] = None  # disk channel, per candidate
     capture_order: Optional[np.ndarray] = None  # node permutation
+    labels: Optional[np.ndarray] = None  # per-node class (class mix)
+    pair_alpha: Optional[np.ndarray] = None  # per-candidate alpha[c(u), c(v)]
 
 
 def sample_deployment(
     num_nodes: int,
     pool_size: int,
-    ring_size: int,
+    ring_size: Union[int, Tuple[int, ...]],
     q_min: int,
     rng: np.random.Generator,
     *,
     needs_onoff: bool = True,
     needs_disk: bool = False,
     needs_capture: bool = False,
+    class_mix: Optional[ClassMix] = None,
 ) -> Deployment:
-    """Sample one deployment; draw only the channel variables needed."""
-    rings = sample_uniform_rings(num_nodes, ring_size, pool_size, rng)
+    """Sample one deployment; draw only the channel variables needed.
+
+    With *class_mix*, *ring_size* is the per-class ``(K_1, ..., K_C)``
+    vector and the draw order grows a class-label block at the front:
+    labels, rings (per class), then the channel variables.  Homogeneous
+    deployments keep the established stream layout untouched.
+    """
+    labels: Optional[np.ndarray] = None
+    if class_mix is not None:
+        if not isinstance(ring_size, (tuple, list)):
+            raise ParameterError(
+                "class-mix deployments take a per-class ring-size vector, "
+                f"got the scalar {ring_size!r}"
+            )
+        labels = sample_class_labels(num_nodes, class_mix.mu, rng)
+        rings: Union[np.ndarray, List[np.ndarray]] = sample_class_rings(
+            labels, ring_size, pool_size, rng
+        )
+    else:
+        if isinstance(ring_size, (tuple, list)):
+            raise ParameterError(
+                f"homogeneous deployments take one ring size, got {ring_size!r}"
+            )
+        rings = sample_uniform_rings(num_nodes, int(ring_size), pool_size, rng)
     pair_keys, counts = overlap_counts_from_rings(rings)
     keep = counts >= q_min
     candidates = pair_keys[keep]
@@ -132,6 +169,12 @@ def sample_deployment(
         delta = np.minimum(delta, 1.0 - delta)  # unit torus
         pair_dists = np.sqrt((delta * delta).sum(axis=1))
     capture_order = rng.permutation(num_nodes) if needs_capture else None
+    pair_alpha = None
+    if class_mix is not None:
+        assert labels is not None
+        pair_alpha = class_pair_probabilities(
+            labels, candidates, num_nodes, class_mix.channel_probs
+        )
     return Deployment(
         num_nodes=num_nodes,
         rings=rings,
@@ -140,6 +183,8 @@ def sample_deployment(
         uniforms=uniforms,
         pair_dists=pair_dists,
         capture_order=capture_order,
+        labels=labels,
+        pair_alpha=pair_alpha,
     )
 
 
@@ -169,7 +214,14 @@ class DeploymentEvaluator:
         dep = self.dep
         overlap_ok = dep.counts >= q
         if channel == "onoff":
-            if p < 1.0:
+            if dep.pair_alpha is not None:
+                # Heterogeneous channel: the curve's p scales the
+                # per-candidate class-pair probability.  Uniforms lie in
+                # [0, 1), so an effective probability of exactly 1 keeps
+                # every candidate, like the homogeneous p = 1 fast path.
+                assert dep.uniforms is not None
+                mask = overlap_ok & (dep.uniforms < p * dep.pair_alpha)
+            elif p < 1.0:
                 assert dep.uniforms is not None
                 mask = overlap_ok & (dep.uniforms < p)
             else:
@@ -229,6 +281,9 @@ class DeploymentEvaluator:
             flags = np.zeros(dep.candidates.size, dtype=bool)
         else:
             assert dep.capture_order is not None
+            # Capture metrics are validated incompatible with class
+            # mixes, so rings is always the rectangular (n, K) array.
+            assert isinstance(dep.rings, np.ndarray)
             captured_nodes = dep.capture_order[:captured]
             captured_keys = np.unique(dep.rings[captured_nodes])
             valid = ~np.isin(dep.rings, captured_keys)

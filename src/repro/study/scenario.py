@@ -47,7 +47,7 @@ from repro.utils.validation import (
     check_probability,
 )
 
-__all__ = ["CHANNEL_KINDS", "METRIC_KINDS", "MetricSpec", "Scenario"]
+__all__ = ["CHANNEL_KINDS", "METRIC_KINDS", "ClassMix", "MetricSpec", "Scenario"]
 
 Curve = Tuple[int, float]
 
@@ -162,6 +162,117 @@ class MetricSpec:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class ClassMix:
+    """Heterogeneous key predistribution: node classes + channel matrix.
+
+    The Eletreby–Yağan generalization (arXiv:1604.00460, 1908.09826)
+    draws every node a class ``i`` with probability ``mu[i]`` and turns
+    each candidate edge between a class-``i`` and a class-``j`` node on
+    with probability ``channel_probs[i][j]``.  A scenario curve's ``p``
+    acts as a scalar multiplier on the matrix (effective pair
+    probability ``p * channel_probs[i][j]``), so the whole ``(q, p)``
+    curve grid still rides one sampled world via nested thinning and
+    the monotone lattice deduction stays exact.  Per-class ring sizes
+    live in the scenario's ``ring_sizes`` entries (each entry becomes a
+    per-class ``[K_1, ..., K_C]`` vector when a class mix is declared).
+    """
+
+    mu: Tuple[float, ...]
+    channel_probs: Tuple[Tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        try:
+            mu = tuple(float(m) for m in self.mu)
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"class mix mu must be a sequence of probabilities, got {self.mu!r}"
+            ) from exc
+        if not mu:
+            raise ParameterError("class mix needs at least one class in mu")
+        for m in mu:
+            check_probability(m, "mu entry", allow_zero=False)
+        total = math.fsum(mu)
+        if abs(total - 1.0) > 1e-9:
+            raise ParameterError(
+                f"class probabilities mu must sum to 1, got {total}"
+            )
+        object.__setattr__(self, "mu", mu)
+        try:
+            matrix = tuple(
+                tuple(float(a) for a in row) for row in self.channel_probs
+            )
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                "channel_probs must be a square matrix of probabilities, "
+                f"got {self.channel_probs!r}"
+            ) from exc
+        size = len(mu)
+        if len(matrix) != size or any(len(row) != size for row in matrix):
+            raise ParameterError(
+                f"channel_probs must be a {size}x{size} matrix (one row per "
+                f"class), got shape {[len(r) for r in matrix]}"
+            )
+        for i in range(size):
+            for j in range(size):
+                check_probability(
+                    matrix[i][j], f"channel_probs[{i}][{j}]", allow_zero=False
+                )
+                if matrix[i][j] != matrix[j][i]:
+                    raise ParameterError(
+                        "channel_probs must be symmetric (an undirected "
+                        f"channel): [{i}][{j}]={matrix[i][j]} != "
+                        f"[{j}][{i}]={matrix[j][i]}"
+                    )
+        object.__setattr__(self, "channel_probs", matrix)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.mu)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mu": list(self.mu),
+            "channel_probs": [list(row) for row in self.channel_probs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ClassMix":
+        if not isinstance(data, Mapping):
+            raise ParameterError(
+                f"classes must be a mapping with 'mu' and 'channel_probs', "
+                f"got {data!r}"
+            )
+        unknown = set(data) - {"mu", "channel_probs"}
+        if unknown:
+            raise ParameterError(
+                f"unknown class-mix fields {sorted(unknown)}; "
+                "valid fields: ['channel_probs', 'mu']"
+            )
+        missing = {"mu", "channel_probs"} - set(data)
+        if missing:
+            raise ParameterError(
+                f"class mix is missing required fields {sorted(missing)}"
+            )
+        mu = data["mu"]
+        probs = data["channel_probs"]
+        if not isinstance(mu, Sequence) or isinstance(mu, str):
+            raise ParameterError(f"mu must be a list of probabilities, got {mu!r}")
+        if not isinstance(probs, Sequence) or isinstance(probs, str):
+            raise ParameterError(
+                f"channel_probs must be a list of rows, got {probs!r}"
+            )
+        for row in probs:
+            if not isinstance(row, Sequence) or isinstance(row, str):
+                raise ParameterError(
+                    f"channel_probs rows must be lists of probabilities, got {row!r}"
+                )
+        return cls(
+            mu=tuple(mu),
+            channel_probs=tuple(tuple(row) for row in probs),
+        )
+
+
 _SCENARIO_FIELDS = {
     "name",
     "num_nodes",
@@ -177,6 +288,7 @@ _SCENARIO_FIELDS = {
     "protocol",
     "protocol_params",
     "kernel_backend",
+    "classes",
 }
 
 
@@ -186,6 +298,13 @@ def _is_nested(seq: Sequence) -> bool:
         return False
     head = seq[0]
     return isinstance(head, Sequence) and not isinstance(head, str)
+
+
+def _deep_listify(value: object) -> object:
+    """Tuples (at any depth) → lists, for JSON-normal-form serialization."""
+    if isinstance(value, tuple):
+        return [_deep_listify(v) for v in value]
+    return value
 
 
 @dataclasses.dataclass(frozen=True)
@@ -233,6 +352,15 @@ class Scenario:
         decision-identical, so this field never changes results — it is
         still part of the config round-trip so runs record what they
         executed on.  Sweep scenarios only.
+    classes:
+        Optional :class:`ClassMix` declaring the heterogeneous
+        (Eletreby–Yağan) scenario family: per-class probabilities
+        ``mu`` and the per-class-pair channel matrix.  With a class
+        mix, every ``ring_sizes`` entry becomes a per-class ``[K_1,
+        ..., K_C]`` vector (one more nesting level for sized
+        scenarios), the channel must be ``"onoff"``, and each curve's
+        ``p`` scales the whole matrix.  Capture/attack metrics are not
+        supported on the ragged heterogeneous rings.
     """
 
     name: str
@@ -249,6 +377,7 @@ class Scenario:
     protocol: Optional[str] = None
     protocol_params: Tuple[Tuple[str, object], ...] = ()
     kernel_backend: Optional[str] = None
+    classes: Optional[ClassMix] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -263,6 +392,17 @@ class Scenario:
         if self.kind not in ("sweep", "protocol"):
             raise ParameterError(
                 f"unknown scenario kind {self.kind!r}; use 'sweep' or 'protocol'"
+            )
+        if self.classes is not None and not isinstance(self.classes, ClassMix):
+            if not isinstance(self.classes, Mapping):
+                raise ParameterError(
+                    f"classes must be a ClassMix or mapping, got {self.classes!r}"
+                )
+            object.__setattr__(self, "classes", ClassMix.from_dict(self.classes))
+        if self.classes is not None and self.kind == "protocol":
+            raise ParameterError(
+                "heterogeneous classes apply to sweep scenarios; protocol "
+                f"scenario {self.name!r} runs its own trial loop"
             )
         if self.kernel_backend is not None:
             if self.kind == "protocol":
@@ -376,9 +516,28 @@ class Scenario:
             return self.pool_size[size_index]
         return self.pool_size
 
-    def ring_sizes_at(self, size_index: int) -> Tuple[int, ...]:
-        """The ``K`` grid of one size (per-size or shared declaration)."""
-        if _is_nested(self.ring_sizes):
+    def _rings_per_size(self) -> bool:
+        """Whether ``ring_sizes`` is declared per size.
+
+        With a class mix the innermost level is always the per-class
+        ``[K_1, ..., K_C]`` vector, so the per-size form carries one
+        extra nesting level (depth 3 instead of 2).
+        """
+        if self.classes is not None:
+            return (
+                _is_nested(self.ring_sizes)
+                and bool(self.ring_sizes[0])
+                and _is_nested(self.ring_sizes[0])
+            )
+        return _is_nested(self.ring_sizes)
+
+    def ring_sizes_at(self, size_index: int) -> Tuple:
+        """The ``K`` grid of one size (per-size or shared declaration).
+
+        Entries are ints, or per-class int tuples when ``classes`` is
+        declared.
+        """
+        if self._rings_per_size():
             return self.ring_sizes[size_index]
         return self.ring_sizes
 
@@ -420,8 +579,58 @@ class Scenario:
 
         get_protocol(self.protocol)  # raises ExperimentError if unknown
 
+    def _normalize_class_rings(self) -> None:
+        """Normalize ring entries to per-class int vectors (class mix)."""
+        assert self.classes is not None
+        num_classes = self.classes.num_classes
+        rings = self.ring_sizes
+
+        def as_entry(entry) -> Tuple[int, ...]:
+            if not isinstance(entry, Sequence) or isinstance(entry, str):
+                raise ParameterError(
+                    "with classes, every ring_sizes entry is a per-class "
+                    f"[K_1, ..., K_{num_classes}] vector, got {entry!r}"
+                )
+            out = tuple(check_positive_int(k, "ring_sizes entry") for k in entry)
+            if len(out) != num_classes:
+                raise ParameterError(
+                    f"per-class ring vector {list(entry)!r} has {len(out)} "
+                    f"entries but the class mix declares {num_classes} classes"
+                )
+            return out
+
+        if self._rings_per_size():
+            if not self.sized:
+                raise ParameterError(
+                    "per-size ring_sizes lists require num_nodes_grid; "
+                    f"got nested ring_sizes {rings!r} without a size grid"
+                )
+            if len(rings) != self.num_sizes:
+                raise ParameterError(
+                    f"ring_sizes has {len(rings)} per-size entries but "
+                    f"num_nodes_grid has {self.num_sizes} sizes"
+                )
+            nested = tuple(
+                tuple(as_entry(entry) for entry in per_size) for per_size in rings
+            )
+            lengths = {len(per_size) for per_size in nested}
+            if len(lengths) != 1 or 0 in lengths:
+                raise ParameterError(
+                    "per-size ring_sizes entries must be non-empty and all "
+                    f"the same length (rectangular K axis), got lengths "
+                    f"{[len(p) for p in nested]}"
+                )
+            object.__setattr__(self, "ring_sizes", nested)
+        else:
+            object.__setattr__(
+                self, "ring_sizes", tuple(as_entry(entry) for entry in rings)
+            )
+
     def _normalize_ring_sizes(self) -> None:
         rings = self.ring_sizes
+        if self.classes is not None:
+            self._normalize_class_rings()
+            return
         if _is_nested(rings):
             if not self.sized:
                 raise ParameterError(
@@ -491,6 +700,11 @@ class Scenario:
             raise ParameterError(
                 f"unknown channel {self.channel!r}; known channels: {known}"
             )
+        if self.classes is not None and self.channel != "onoff":
+            raise ParameterError(
+                "heterogeneous classes model per-class-pair on/off "
+                f"probabilities; channel must be 'onoff', got {self.channel!r}"
+            )
         if not self.ring_sizes:
             raise ParameterError("ring_sizes must be non-empty")
         if not self.curves:
@@ -510,10 +724,36 @@ class Scenario:
         labels = [m.label for m in self.metrics]
         if len(set(labels)) != len(labels):
             raise ParameterError(f"duplicate metrics in scenario: {labels}")
+        if self.classes is not None:
+            for metric in self.metrics:
+                if metric.needs_capture:
+                    raise ParameterError(
+                        f"metric {metric.label} requires node capture, which "
+                        "is not supported with heterogeneous classes (ragged "
+                        "per-class rings)"
+                    )
+        peak_alpha = (
+            max(max(row) for row in self.classes.channel_probs)
+            if self.classes is not None
+            else None
+        )
         for si in range(self.num_sizes):
             pool = self.pool_size_at(si)
             for q, p in self.curves_at(si):
-                check_probability(p, "channel_prob", allow_zero=False)
+                if peak_alpha is not None:
+                    # With classes, a curve's p is a scalar multiplier on
+                    # the channel matrix, not a probability itself: only
+                    # the effective pair probabilities p * alpha_ij must
+                    # stay in (0, 1], so p may exceed 1 when the matrix
+                    # peak is below 1.
+                    if not (p > 0.0) or p * peak_alpha > 1.0:
+                        raise ParameterError(
+                            f"channel scale p={p} must be positive and keep "
+                            f"every p * channel_probs[i][j] <= 1 (matrix "
+                            f"peak {peak_alpha})"
+                        )
+                else:
+                    check_probability(p, "channel_prob", allow_zero=False)
                 if self.channel == "disk" and p > _DISK_MAX_PROB:
                     raise ParameterError(
                         f"disk channel marginal p={p} exceeds pi/4 ~ "
@@ -521,7 +761,11 @@ class Scenario:
                         "marginal regime r <= 1/2)"
                     )
                 for ring in self.ring_sizes_at(si):
-                    check_key_parameters(ring, pool, q)
+                    if self.classes is not None:
+                        for per_class in ring:
+                            check_key_parameters(per_class, pool, q)
+                    else:
+                        check_key_parameters(ring, pool, q)
         smallest = min(self.sizes)
         for metric in self.metrics:
             if metric.needs_capture and metric.captured > smallest - 2:
@@ -546,7 +790,7 @@ class Scenario:
         grid never silently shares deployments with a plain scenario.
         """
         if self.sized:
-            return (
+            key: Tuple = (
                 "sized",
                 self.sizes,
                 tuple(self.pool_size_at(s) for s in range(self.num_sizes)),
@@ -554,7 +798,22 @@ class Scenario:
                 self.trials,
                 self.seed,
             )
-        return (self.num_nodes, self.pool_size, self.ring_sizes, self.trials, self.seed)
+        else:
+            key = (
+                self.num_nodes,
+                self.pool_size,
+                self.ring_sizes,
+                self.trials,
+                self.seed,
+            )
+        if self.classes is not None:
+            # The class mix changes both the sampled world (labels,
+            # per-class rings) and the channel thinning, so scenarios
+            # only share deployments when mu AND the matrix agree;
+            # homogeneous keys stay byte-identical to the historical
+            # form.
+            key = key + (("classes", self.classes.mu, self.classes.channel_probs),)
+        return key
 
     def with_trials(self, trials: int) -> "Scenario":
         """This scenario with a different trial count, all else equal.
@@ -627,14 +886,13 @@ class Scenario:
             out["pool_size"] = self.pool_size
         if self.kernel_backend is not None:
             out["kernel_backend"] = self.kernel_backend
+        if self.classes is not None:
+            out["classes"] = self.classes.to_dict()
         if self.kind == "protocol":
             out["protocol"] = self.protocol
             out["protocol_params"] = dict(self.protocol_params)
             return out
-        if _is_nested(self.ring_sizes):
-            rings: object = [list(per_size) for per_size in self.ring_sizes]
-        else:
-            rings = list(self.ring_sizes)
+        rings = _deep_listify(self.ring_sizes)
         if self.curves and _is_nested(self.curves[0]):
             curves: object = [
                 [[q, p] for q, p in per_size] for per_size in self.curves
@@ -685,6 +943,8 @@ class Scenario:
             raise ParameterError(
                 f"protocol_params must be a mapping, got {protocol_params!r}"
             )
+        classes_raw = data.get("classes")
+        classes = None if classes_raw is None else ClassMix.from_dict(classes_raw)  # type: ignore[arg-type]
         num_nodes = data.get("num_nodes")
         try:
             return cls(
@@ -706,6 +966,7 @@ class Scenario:
                     if data.get("kernel_backend") is None
                     else str(data["kernel_backend"])
                 ),
+                classes=classes,
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, ParameterError):

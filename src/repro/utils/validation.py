@@ -10,7 +10,7 @@ live in exactly one place.  All helpers raise
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.exceptions import ParameterError
 
@@ -132,13 +132,17 @@ def check_in_range(
     return value
 
 
-def check_key_parameters(key_ring_size: int, pool_size: int, overlap: int) -> None:
+def check_key_parameters(
+    key_ring_size: int, pool_size: int, overlap: int
+) -> Tuple[int, int, int]:
     """Validate the q-composite triple ``(K, P, q)``.
 
     Enforces the paper's natural condition ``1 <= q <= K <= P`` (Section I
     requires ``q < K < P``; we accept the closed boundary cases ``q = K``
     and ``K = P`` because the hypergeometric formulas remain well defined
-    there and they are useful in tests).
+    there and they are useful in tests).  Returns the normalized
+    ``(key_ring_size, pool_size, overlap)`` triple so callers can use the
+    coerced ``int`` values directly.
     """
     key_ring_size = check_positive_int(key_ring_size, "key_ring_size")
     pool_size = check_positive_int(pool_size, "pool_size")
@@ -151,3 +155,4 @@ def check_key_parameters(key_ring_size: int, pool_size: int, overlap: int) -> No
         raise ParameterError(
             f"overlap q={overlap} must not exceed key_ring_size K={key_ring_size}"
         )
+    return key_ring_size, pool_size, overlap

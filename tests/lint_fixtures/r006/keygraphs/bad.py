@@ -1,0 +1,16 @@
+"""R006 true positives: untyped exceptions on keygraph paths."""
+
+
+def take(rings, index):
+    if index >= len(rings):
+        raise IndexError(f"no ring {index}")
+    return rings[index]
+
+
+def check_pool(pool_size):
+    if pool_size <= 0:
+        raise ValueError("pool must be positive")
+
+
+def explode():
+    raise Exception("bad rings")

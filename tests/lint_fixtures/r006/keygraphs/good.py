@@ -1,0 +1,21 @@
+"""R006 non-findings: typed repro exceptions on keygraph paths."""
+
+from repro.exceptions import ParameterError
+
+
+def take(rings, index):
+    if index >= len(rings):
+        raise ParameterError(f"no ring {index}")
+    return rings[index]
+
+
+def passthrough(fn):
+    try:
+        return fn()
+    except ParameterError as exc:
+        raise exc
+
+
+def wrong_type(value):
+    if not isinstance(value, int):
+        raise TypeError("value must be an int")

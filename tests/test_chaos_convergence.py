@@ -25,7 +25,7 @@ from repro.simulation.faults import STRATEGY_KINDS, ChaosSpec, FaultStrategy
 from repro.simulation.scheduler import SchedulerPolicy
 from repro.study.adaptive import run_adaptive_study
 from repro.study.compiler import Study
-from repro.study.scenario import MetricSpec, Scenario
+from repro.study.scenario import ClassMix, MetricSpec, Scenario
 
 WORKERS = 2
 
@@ -80,6 +80,35 @@ def test_faulted_run_is_bit_identical(kind, persistent, baseline, monkeypatch):
         + report["pool_breaks"] + report["delays"]
     )
     assert fired > 0
+
+
+def _het_scenario(trials=6):
+    return Scenario(
+        name="het",
+        num_nodes_grid=(30, 40),
+        pool_size=300,
+        ring_sizes=((10, 16),),
+        curves=((1, 0.5), (1, 1.0)),
+        trials=trials,
+        seed=11,
+        metrics=(MetricSpec("connectivity"),),
+        classes=ClassMix(mu=(0.5, 0.5), channel_probs=((0.9, 0.6), (0.6, 0.4))),
+    )
+
+
+@pytest.mark.parametrize("persistent", ["0", "1"])
+def test_class_mix_scenario_converges_under_chaos(persistent, monkeypatch):
+    # The heterogeneous axis adds draws (labels, per-class rings) to
+    # every work unit; retried units must still recompute identically.
+    monkeypatch.setenv("REPRO_PERSISTENT_POOL", persistent)
+    clean = Study((_het_scenario(),)).run(workers=WORKERS)
+    faulted = Study((_het_scenario(),)).run(
+        workers=WORKERS, scheduler=_chaos_policy("crash")
+    )
+    assert np.array_equal(clean["het"].values, faulted["het"].values)
+    report = faulted.provenance["faults"]
+    assert report["crashes"] > 0
+    assert report["completed"] == report["units"]
 
 
 @pytest.mark.parametrize("persistent", ["0", "1"])

@@ -54,6 +54,8 @@ class TestRegistry:
             "theorem1",
             "zero_one",
             "mindegree",
+            "het_zero_one",
+            "het_mindegree",
             "degree_poisson",
             "coupling",
             "attack",

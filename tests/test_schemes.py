@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.exceptions import ParameterError
 from repro.keygraphs.pool import KeyPool
 from repro.keygraphs.schemes import (
     EschenauerGligorScheme,
@@ -35,7 +36,7 @@ class TestKeyPool:
         assert KeyPool(10, b"a").key_material(0) != KeyPool(10, b"b").key_material(0)
 
     def test_out_of_pool_raises(self):
-        with pytest.raises(IndexError):
+        with pytest.raises(ParameterError):
             KeyPool(5).key_material(5)
 
     def test_bad_secret_type(self):

@@ -129,11 +129,45 @@ class TestFaultDedup:
         assert ext_faults["attempts"] > cold_faults["attempts"]
         assert ext_faults["attempts"] < 2 * cold_faults["attempts"] + 1
 
-        # Re-requesting the extended study is a pure hit: the folded
-        # report comes back unchanged from the store, not re-summed.
+        # Re-requesting the extended study is a pure hit: this run
+        # executed nothing, so it reports no faults of its own — the
+        # folded history comes back unchanged from the store under the
+        # cache record, not re-summed and not resurrected as "faults".
         again = run_cached(extended, cache, workers=WORKERS)
         assert again.provenance["cache"]["disposition"] == "hit"
-        assert again.provenance["faults"]["attempts"] == ext_faults["attempts"]
+        assert "faults" not in again.provenance
+        stored = again.provenance["cache"]["stored_faults"]
+        assert stored["attempts"] == ext_faults["attempts"]
+
+    def test_hit_after_faulted_run_has_fault_free_provenance(self, cache):
+        """Regression: cached-with-faults → fault-free rerun provenance.
+
+        A chaos-supervised cold run stores its fault report with the
+        result.  A later fault-free rerun answered entirely from the
+        cache must not claim those crashes as its own execution: no
+        top-level ``"faults"``, zero units — while the history stays
+        inspectable under ``cache.stored_faults``.
+        """
+        study = Study((_scenario(),))
+        cold = run_cached(study, cache, workers=WORKERS, scheduler=_chaos_policy())
+        assert cold.provenance["faults"]["crashes"] > 0
+
+        rerun = run_cached(study, cache, workers=WORKERS)
+        info = rerun.provenance["cache"]
+        assert info["disposition"] == "hit"
+        assert info["executed_units"] == 0
+        assert "faults" not in rerun.provenance
+        assert info["stored_faults"]["crashes"] == cold.provenance["faults"]["crashes"]
+        assert np.array_equal(cold["cached"].values, rerun["cached"].values)
+
+    def test_fault_free_history_leaves_hit_provenance_clean(self, cache):
+        """A hit on an entry stored without faults carries neither key."""
+        study = Study((_scenario(),))
+        run_cached(study, cache, workers=WORKERS)
+        hit = run_cached(study, cache, workers=WORKERS)
+        assert hit.provenance["cache"]["disposition"] == "hit"
+        assert "faults" not in hit.provenance
+        assert "stored_faults" not in hit.provenance["cache"]
 
     def test_combine_is_idempotent_on_duplicates(self):
         report = {
